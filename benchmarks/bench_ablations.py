@@ -1,0 +1,71 @@
+"""Ablations on the memory-system design choices (beyond the paper)."""
+
+from conftest import by, one
+
+
+def test_abl_threshold(regenerate):
+    result = regenerate("abl_threshold")
+    srad = {r["threshold"]: r for r in by(result.rows, "app", "srad")}
+    path = {r["threshold"]: r for r in by(result.rows, "app", "pathfinder")}
+    # A practically-infinite threshold disables migration.
+    assert srad[1 << 20]["pages_migrated"] == 0
+    assert path[1 << 20]["pages_migrated"] == 0
+    # SRAD (iterative) is fastest with migration enabled; pathfinder
+    # (single pass) is fastest with migration effectively off.
+    assert srad[256]["compute_s"] < srad[1 << 20]["compute_s"]
+    assert path[1 << 20]["compute_s"] <= path[256]["compute_s"]
+
+
+def test_abl_first_touch(regenerate):
+    result = regenerate("abl_first_touch")
+    acc = one(result.rows, policy="accessor")
+    cpu = one(result.rows, policy="cpu-always")
+    # Accessor placement keeps the GPU-initialised statevector local.
+    assert acc["c2c_read_gb"] < 1.0
+    assert cpu["c2c_read_gb"] > 10.0
+    assert cpu["compute_s"] > 3 * acc["compute_s"]
+
+
+def test_abl_autonuma(regenerate):
+    result = regenerate("abl_autonuma")
+    on = one(result.rows, autonuma="on")
+    off = one(result.rows, autonuma="off")
+    assert on["cpu_init_s"] > off["cpu_init_s"]
+
+
+def test_abl_remote_efficiency(regenerate):
+    result = regenerate("abl_remote_efficiency")
+    rows = sorted(result.rows, key=lambda r: r["efficiency"])
+    path = [r["pathfinder_sys_over_mng"] for r in rows]
+    srad = [r["srad_sys_over_mng"] for r in rows]
+    # Streaming apps gain from better remote access; the split direction
+    # holds at every efficiency.
+    assert path[-1] >= path[0]
+    assert all(s < 1.0 for s in srad)
+    assert all(p > 1.0 for p in path)
+
+
+def test_abl_diverse_workloads(regenerate):
+    result = regenerate("abl_diverse_workloads")
+    rows = {r["workload"]: r for r in result.rows}
+    # Random sparse access: no benefit (stalls may even hurt).
+    assert rows["random-sparse"]["migration_benefit"] <= 1.0
+    # Single-pass streaming: nothing migrates at all.
+    assert rows["stream-1pass"]["migrated_gb"] == 0.0
+    # Reuse flips the verdict: 12-pass streaming and iterative SRAD gain.
+    assert rows["stream-12pass"]["migration_benefit"] > 1.0
+    assert rows["iterative"]["migration_benefit"] > 1.0
+    # The skewed workload gains most per migrated byte: only the hot
+    # region moves.
+    assert rows["skewed-90/10"]["migration_benefit"] > 1.3
+    assert rows["skewed-90/10"]["migrated_gb"] < rows["iterative"]["migrated_gb"]
+
+
+def test_abl_migration_off(regenerate):
+    result = regenerate("abl_migration_off")
+    on = one(result.rows, migration="on")
+    off = one(result.rows, migration="off")
+    assert on["pages_migrated"] > 0
+    assert off["pages_migrated"] == 0
+    assert on["steady_iter_ms"] < off["steady_iter_ms"]
+    assert on["compute_s"] < off["compute_s"]

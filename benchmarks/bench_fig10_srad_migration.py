@@ -1,0 +1,34 @@
+"""Figure 10: SRAD per-iteration time and memory traffic."""
+
+from conftest import by
+
+
+def test_fig10_srad_migration(regenerate):
+    result = regenerate("fig10")
+    system = sorted(by(result.rows, "version", "system"),
+                    key=lambda r: r["iteration"])
+    managed = sorted(by(result.rows, "version", "managed"),
+                     key=lambda r: r["iteration"])
+    assert len(system) == len(managed) == 12
+
+    # Managed: expensive first iteration (on-demand migration), then flat.
+    assert managed[0]["time_ms"] > 2 * managed[1]["time_ms"]
+    steady_m = [r["time_ms"] for r in managed[1:]]
+    assert max(steady_m) - min(steady_m) < 0.2 * max(steady_m)
+
+    # System: three sub-phases. (1) first-touch spike;
+    assert system[0]["time_ms"] > 3 * system[1]["time_ms"]
+    # (2) decreasing migration ramp, still slower than managed;
+    ramp = system[1:4]
+    assert all(a["time_ms"] >= b["time_ms"] for a, b in zip(ramp, ramp[1:]))
+    assert all(r["time_ms"] > managed[5]["time_ms"] for r in ramp[:2])
+    # (3) stable iterations that outperform the managed version.
+    tail = system[5:]
+    assert all(r["time_ms"] < managed[5]["time_ms"] for r in tail)
+
+    # Traffic: C2C reads fall to ~zero while GPU reads rise to steady.
+    assert system[0]["c2c_read_gb"] > 1.0
+    assert all(r["c2c_read_gb"] < 0.05 for r in system[5:])
+    assert system[-1]["gpu_read_gb"] > system[0]["gpu_read_gb"]
+    # Managed reads come from GPU memory even in iteration 1.
+    assert managed[0]["c2c_read_gb"] < 0.05

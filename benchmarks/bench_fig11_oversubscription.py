@@ -1,0 +1,16 @@
+"""Figure 11: system-over-managed speedup vs oversubscription."""
+
+
+def test_fig11_oversubscription(regenerate):
+    result = regenerate("fig11", ratios=(1.0, 1.5, 2.0))
+    rows = {r["app"]: r for r in result.rows}
+    # The speedup of system memory over managed memory grows with the
+    # oversubscription ratio for the streaming Rodinia applications.
+    for app in ("bfs", "hotspot", "needle", "pathfinder"):
+        series = [rows[app]["R1.0"], rows[app]["R1.5"], rows[app]["R2.0"]]
+        assert series[-1] > series[0], (app, series)
+        assert series[-1] > 1.0, (app, series)
+    # SRAD is the most oversubscription-impacted application: its system
+    # version needs GPU residency that oversubscription denies.
+    srad = [rows["srad"]["R1.0"], rows["srad"]["R1.5"], rows["srad"]["R2.0"]]
+    assert srad[-1] > srad[0]

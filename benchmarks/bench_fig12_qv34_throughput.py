@@ -1,0 +1,22 @@
+"""Figure 12: 34-qubit QV memory-tier throughput (managed memory)."""
+
+from conftest import one
+
+
+def test_fig12_qv34_throughput(regenerate):
+    result = regenerate("fig12")
+    m4 = one(result.rows, variant="managed-4K")
+    m64 = one(result.rows, variant="managed-64K")
+    pf = one(result.rows, variant="managed-64K+prefetch")
+
+    # Without prefetch the computation is throttled by slow C2C traffic:
+    # L1<->L2 throughput is far below the HBM-fed rate.
+    assert m4["l1l2_gb_s"] < 700
+    assert m4["c2c_gb_s"] > 50
+    # 64 KB pages improve the remote path but stay throttled.
+    assert m4["l1l2_gb_s"] < m64["l1l2_gb_s"] < 1000
+    # Prefetch feeds the GPU from its own memory: C2C traffic vanishes
+    # during compute and L1<->L2 throughput recovers to HBM levels.
+    assert pf["c2c_gb_s"] < 10
+    assert pf["l1l2_gb_s"] > 3 * m64["l1l2_gb_s"]
+    assert pf["compute_s"] < m64["compute_s"] < m4["compute_s"]

@@ -1,0 +1,22 @@
+"""Figure 3: unified-memory speedup over explicit copy, six apps."""
+
+from conftest import one
+
+
+def test_fig3_overview(regenerate):
+    result = regenerate("fig3")
+    rows = {r["app"]: r for r in result.rows}
+    # Class 1: system outperforms managed.
+    for app in ("needle", "pathfinder", "hotspot", "bfs", "qiskit-17q",
+                "qiskit-19q"):
+        assert rows[app]["system_speedup"] > rows[app]["managed_speedup"], app
+    # Class 2: managed outperforms system (srad, larger QV).
+    for app in ("srad", "qiskit-23q"):
+        assert rows[app]["managed_speedup"] > rows[app]["system_speedup"], app
+    # needle and pathfinder system versions beat even the explicit copy.
+    assert rows["needle"]["system_speedup"] > 1.0
+    assert rows["pathfinder"]["system_speedup"] > 1.0
+    # Explicit is the fastest QV version (ideal pipeline).
+    for q in (17, 19, 21, 23):
+        row = rows[f"qiskit-{q}q"]
+        assert row["system_speedup"] <= 1.1 and row["managed_speedup"] <= 1.0

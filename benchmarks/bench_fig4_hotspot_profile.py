@@ -1,0 +1,28 @@
+"""Figure 4: hotspot memory-usage-over-time profiles."""
+
+from conftest import by
+
+
+def test_fig4_hotspot_profile(regenerate):
+    result = regenerate("fig4")
+    system = by(result.rows, "version", "system")
+    managed = by(result.rows, "version", "managed")
+    assert len(system) > 5 and len(managed) > 5
+
+    # System version: GPU usage flat during compute (no migration); its
+    # peak equals the managed version's *pre-migration* level.
+    sys_gpu_peak = max(r["gpu_used_gb"] for r in system)
+    mng_gpu_peak = max(r["gpu_used_gb"] for r in managed)
+    assert mng_gpu_peak > sys_gpu_peak + 1.0  # migration raised GPU usage
+
+    # Managed version: RSS collapses once compute migrates pages away.
+    mng_rss_peak = max(r["rss_gb"] for r in managed)
+    peak_t = next(r["t_s"] for r in managed if r["rss_gb"] == mng_rss_peak)
+    after = [r for r in managed if r["t_s"] > peak_t]
+    assert any(
+        r["rss_gb"] < 0.2 and r["gpu_used_gb"] > sys_gpu_peak for r in after
+    )
+
+    # Both versions ramp RSS gradually during CPU initialisation.
+    ramp = [r["rss_gb"] for r in system]
+    assert sum(1 for a, b in zip(ramp, ramp[1:]) if b > a) >= 4

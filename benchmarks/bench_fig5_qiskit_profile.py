@@ -1,0 +1,26 @@
+"""Figure 5: Quantum Volume memory-usage-over-time profiles."""
+
+from conftest import by
+
+
+def test_fig5_qiskit_profile(regenerate):
+    result = regenerate("fig5")
+    system = [r for r in by(result.rows, "version", "system")]
+    managed = [r for r in by(result.rows, "version", "managed")]
+    sys_total = by(result.rows, "version", "system-total")[0]["t_s"]
+    mng_total = by(result.rows, "version", "managed-total")[0]["t_s"]
+
+    # End-to-end execution is significantly prolonged with system memory
+    # (GPU-side first-touch initialisation through the SMMU).
+    assert sys_total > 2.5 * mng_total
+
+    # The managed version reaches peak GPU usage in its first samples;
+    # the system version ramps slowly.
+    def time_to_peak(rows):
+        peak = max(r["gpu_used_gb"] for r in rows)
+        t_hit = next(r["t_s"] for r in rows if r["gpu_used_gb"] >= 0.95 * peak)
+        span = rows[-1]["t_s"] - rows[0]["t_s"]
+        return (t_hit - rows[0]["t_s"]) / span if span else 0.0
+
+    assert time_to_peak(managed) < 0.35
+    assert time_to_peak(system) > 0.5

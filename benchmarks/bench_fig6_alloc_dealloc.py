@@ -1,0 +1,16 @@
+"""Figure 6: alloc+dealloc time at 4 KB vs 64 KB system pages."""
+
+import statistics
+
+
+def test_fig6_alloc_dealloc(regenerate):
+    result = regenerate("fig6")
+    ratios = [r["ratio_4k_over_64k"] for r in result.rows]
+    # 64 KB pages reduce alloc+dealloc for every application...
+    assert all(r > 4 for r in ratios)
+    # ...within the paper's band (4.6x-38x), average in the tens.
+    assert max(ratios) <= 40
+    assert 10 <= statistics.mean(ratios) <= 32
+    # Deallocation dominates: the 4 KB times are page-count bound.
+    for row in result.rows:
+        assert row["alloc_dealloc_4k_s"] > row["alloc_dealloc_64k_s"]

@@ -1,0 +1,16 @@
+"""Figure 7: compute time at 4 KB vs 64 KB (auto-migration enabled)."""
+
+from conftest import one
+
+
+def test_fig7_pagesize_compute(regenerate):
+    result = regenerate("fig7")
+    rows = {r["app"]: r for r in result.rows}
+    # 4 KB compute is faster (or equal) for every Rodinia app but SRAD.
+    for app in ("bfs", "hotspot", "needle", "pathfinder"):
+        assert rows[app]["slowdown_64k"] >= 1.0, app
+    assert max(
+        rows[a]["slowdown_64k"] for a in ("bfs", "hotspot", "needle", "pathfinder")
+    ) > 1.3
+    # SRAD's iterative reuse makes 64 KB pages a clear win.
+    assert rows["srad"]["slowdown_64k"] < 0.6

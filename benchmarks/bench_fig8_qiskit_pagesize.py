@@ -1,0 +1,20 @@
+"""Figure 8: QV speedup of 64 KB over 4 KB system pages."""
+
+
+def test_fig8_qiskit_pagesize(regenerate):
+    result = regenerate("fig8")
+    rows = sorted(result.rows, key=lambda r: r["qubits"])
+    sys_speedups = [r["system_speedup_64k"] for r in rows]
+    mng_speedups = [r["managed_speedup_64k"] for r in rows]
+    # System-memory speedup grows with the problem size toward ~4x.
+    assert sys_speedups[-1] > sys_speedups[0] - 0.3
+    assert 3.0 <= max(sys_speedups) <= 4.5
+    # Managed speedup decreases with problem size toward ~1x.
+    assert mng_speedups[0] > mng_speedups[-1]
+    assert mng_speedups[-1] < 1.2
+    # From 25 qubits the managed version is nearly page-size insensitive
+    # while the system version still gains almost 4x.
+    for r in rows:
+        if r["qubits"] >= 28:
+            assert r["managed_speedup_64k"] < 1.3
+            assert r["system_speedup_64k"] > 3.0

@@ -1,0 +1,23 @@
+"""Figure 9: 33-qubit QV init/compute breakdown per page size."""
+
+from conftest import one
+
+
+def test_fig9_qv33_breakdown(regenerate):
+    result = regenerate("fig9")
+    s4 = one(result.rows, version="system", page_kb=4)
+    s64 = one(result.rows, version="system", page_kb=64)
+    m4 = one(result.rows, version="managed", page_kb=4)
+    m64 = one(result.rows, version="managed", page_kb=64)
+
+    # System memory: initialisation dominates at 4 KB and shrinks several
+    # fold at 64 KB (paper: ~5x init, 2.9x total).
+    assert s4["init_s"] > 5 * s4["compute_s"]
+    assert 3.0 <= s4["init_s"] / s64["init_s"] <= 6.5
+    assert 2.0 <= s4["total_s"] / s64["total_s"] <= 5.0
+    # Compute time is stable across page sizes.
+    assert abs(s4["compute_s"] - s64["compute_s"]) / s4["compute_s"] < 0.05
+    # Managed memory is nearly page-size insensitive (paper: ~10%).
+    assert abs(m4["total_s"] - m64["total_s"]) / m64["total_s"] < 0.15
+    # Managed initialisation is orders of magnitude below system 4 KB.
+    assert m4["init_s"] < s4["init_s"] / 50

@@ -1,0 +1,17 @@
+"""Section 2.1: STREAM and Comm|Scope bandwidth anchors."""
+
+from conftest import one
+
+
+def test_sec21_bandwidths(regenerate):
+    result = regenerate("sec21")
+    gpu = one(result.rows, benchmark="STREAM GPU (HBM3)")
+    cpu = one(result.rows, benchmark="STREAM CPU (LPDDR5X)")
+    h2d = one(result.rows, benchmark="Comm|Scope H2D")
+    d2h = one(result.rows, benchmark="Comm|Scope D2H")
+    # Within 10% of the paper's measured numbers; below theoretical peaks.
+    for row, paper in ((gpu, 3400), (cpu, 486), (h2d, 375), (d2h, 297)):
+        assert abs(row["measured_gb_s"] - paper) / paper < 0.10
+        assert row["measured_gb_s"] < row["theoretical_gb_s"]
+    # The asymmetry of the C2C link is preserved.
+    assert h2d["measured_gb_s"] > d2h["measured_gb_s"]

@@ -1,0 +1,18 @@
+"""Table 1: memory management types on Grace Hopper."""
+
+from repro.core.allocators import allocator_table
+from repro.mem.pagetable import AllocKind
+
+
+def test_table1_memory_types(regenerate):
+    result = regenerate("table1")
+    assert len(result.rows) == 4
+    # The unified types are the cache-coherent ones.
+    coherent = [r for r in result.rows if r["cache_coherent"] == "Yes"]
+    assert {r["interface"] for r in coherent} == {
+        "malloc()",
+        "cudaMallocManaged()",
+    }
+    # Registry agrees with the rendered table.
+    infos = allocator_table()
+    assert {i.kind for i in infos} == set(AllocKind) - {AllocKind.NUMA_CPU}

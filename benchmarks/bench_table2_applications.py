@@ -1,0 +1,14 @@
+"""Table 2: applications, access patterns, inputs."""
+
+
+def test_table2_applications(regenerate):
+    result = regenerate("table2")
+    names = {r["name"] for r in result.rows}
+    assert names == {"bfs", "hotspot", "needle", "pathfinder", "qiskit", "srad"}
+    patterns = {r["name"]: r["pattern"] for r in result.rows}
+    assert patterns["hotspot"] == "regular"
+    assert patterns["pathfinder"] == "regular"
+    assert patterns["needle"] == "irregular"
+    assert patterns["srad"] == "irregular"
+    assert patterns["bfs"] == "mixed"
+    assert patterns["qiskit"] == "mixed"

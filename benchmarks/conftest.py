@@ -1,0 +1,41 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Each ``bench_*`` file regenerates one table or figure of the paper via
+the experiment registry, asserts its qualitative shape (who wins, by
+roughly what factor, where crossovers fall), and prints the same
+rows/series the paper reports. Experiments are deterministic
+simulations, so each is timed with a single pedantic round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_table, run_experiment
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run one experiment under pytest-benchmark and print its table."""
+
+    def _run(exp_id: str, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(render_table(result))
+        return result
+
+    return _run
+
+
+def by(rows, key, value):
+    """Rows whose ``key`` equals ``value``."""
+    return [r for r in rows if r[key] == value]
+
+
+def one(rows, **filters):
+    """The single row matching all ``filters``."""
+    out = [r for r in rows if all(r[k] == v for k, v in filters.items())]
+    assert len(out) == 1, f"expected one row for {filters}, got {len(out)}"
+    return out[0]

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CUDA streams: building the paper's 'ideal' explicit pipeline by hand.
+
+The explicit Quantum Volume version wins in-memory comparisons because
+Aer overlaps H2D copies, compute, and D2H copies on separate streams.
+This example processes a batch of chunks three ways — serial, double-
+buffered, triple-buffered — and shows the pipeline converging to
+max(copy, compute) per chunk.
+
+Run:  python examples/async_pipeline.py
+"""
+
+import numpy as np
+
+from repro import GraceHopperSystem, SystemConfig
+from repro.core import ArrayAccess, StreamManager
+from repro.sim.config import MiB
+
+CHUNK = 256 * MiB
+N_CHUNKS = 12
+
+
+def run(n_streams: int):
+    gh = GraceHopperSystem(SystemConfig.paper_gh200(page_size=65536))
+    gh.launch_kernel("warmup", [])
+    mgr = StreamManager(gh)
+    streams = [mgr.create_stream(f"s{i}") for i in range(n_streams)]
+    hosts = [gh.cuda_malloc_host(np.uint8, (CHUNK,)) for _ in range(n_streams)]
+    devs = [gh.cuda_malloc(np.uint8, (CHUNK,)) for _ in range(n_streams)]
+
+    t0 = gh.now
+    for c in range(N_CHUNKS):
+        i = c % n_streams
+        s = streams[i]
+        s.memcpy_h2d_async(devs[i], hosts[i])
+        s.launch(
+            f"process-{c}",
+            [ArrayAccess.read(devs[i]), ArrayAccess.write_(devs[i])],
+            flops=2.0 * CHUNK,
+        )
+        s.memcpy_d2h_async(hosts[i], devs[i])
+    mgr.device_synchronize()
+    return gh.now - t0, mgr
+
+
+def main():
+    cfg = SystemConfig.paper_gh200()
+    h2d = CHUNK / cfg.c2c_h2d_bandwidth
+    d2h = CHUNK / cfg.c2c_d2h_bandwidth
+    kern = 2 * CHUNK / cfg.hbm_bandwidth
+    print(
+        f"per chunk: h2d {h2d * 1e3:.2f} ms, kernel {kern * 1e3:.2f} ms, "
+        f"d2h {d2h * 1e3:.2f} ms"
+    )
+    print(f"serial bound : {N_CHUNKS * (h2d + kern + d2h) * 1e3:8.1f} ms")
+    print(f"pipeline bound: {N_CHUNKS * max(h2d, kern, d2h) * 1e3:8.1f} ms "
+          f"(the slower copy engine)\n")
+
+    print(f"{'streams':>8s} {'total ms':>9s} {'overlap efficiency':>19s}")
+    print("-" * 40)
+    for n in (1, 2, 3):
+        total, mgr = run(n)
+        print(f"{n:>8d} {total * 1e3:>9.1f} {mgr.overlap_efficiency():>19.2f}")
+
+    print(
+        "\nWith two streams the copies hide behind each other and the\n"
+        "kernel; the D2H engine (297 GB/s) becomes the bottleneck --\n"
+        "exactly why the paper calls the explicit chunked pipeline the\n"
+        "ideal performance reference (Section 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The memory-management advisor: the paper's guidance as a tool.
+
+Records the access trace of a workload, derives its characteristics,
+and prints the recommended memory mode / page size / optimisations with
+the paper sections that justify each choice — then validates the advice
+by running the workload under both recommended and rejected modes.
+
+Run:  python examples/memory_advisor.py
+"""
+
+import numpy as np
+
+from repro import GraceHopperSystem, MemoryMode, SystemConfig
+from repro.apps import get_application
+from repro.core import profile_from_trace, recommend
+from repro.core.advisor import InitSide, WorkloadProfile
+from repro.profiling.trace import TraceRecorder
+
+
+def advise_for(name, **kwargs):
+    gh = GraceHopperSystem(SystemConfig.scaled(1 / 64, page_size=65536))
+    app = get_application(name, scale=1 / 64, **kwargs)
+    recorder = TraceRecorder(gh.mem)
+    with recorder:
+        app.run(gh, MemoryMode.SYSTEM)
+    profile = profile_from_trace(recorder.trace)
+    return profile, recommend(profile)
+
+
+def validate(name, rec, **kwargs):
+    times = {}
+    for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+        gh = GraceHopperSystem(
+            SystemConfig.scaled(
+                1 / 64,
+                page_size=rec.page_size,
+                migration_enable=rec.migration_enable,
+            )
+        )
+        app = get_application(name, scale=1 / 64, **kwargs)
+        times[mode] = app.run(gh, mode).reported_total
+    return times
+
+
+def main():
+    for name, kwargs in (("pathfinder", {}), ("srad", {})):
+        profile, rec = advise_for(name, **kwargs)
+        print(f"== {name} ==")
+        print(
+            f"  profile: init={profile.init_side.value}, "
+            f"reuse={profile.reuse_factor:.1f}x, "
+            f"irregularity={profile.irregularity:.2f}"
+        )
+        print(
+            f"  advice: {rec.mode.value} memory, "
+            f"{rec.page_size // 1024} KB pages, "
+            f"migration {'on' if rec.migration_enable else 'off'}"
+        )
+        for reason in rec.reasons:
+            print(f"    - {reason}")
+        for opt in rec.optimizations:
+            print(f"    + {opt}")
+        times = validate(name, rec, **kwargs)
+        best = min(times, key=times.get)
+        verdict = "CONFIRMED" if best is rec.mode else "MISSED"
+        print(
+            f"  validation: system={times[MemoryMode.SYSTEM] * 1e3:.1f} ms, "
+            f"managed={times[MemoryMode.MANAGED] * 1e3:.1f} ms -> "
+            f"{best.value} wins ({verdict})\n"
+        )
+
+    print("== hypothetical: 34-qubit statevector (natural oversubscription) ==")
+    profile = WorkloadProfile(
+        init_side=InitSide.GPU,
+        reuse_factor=68,
+        oversubscription_ratio=1.3,
+    )
+    rec = recommend(profile)
+    print(f"  advice: {rec.mode.value} memory, {rec.page_size // 1024} KB pages")
+    for reason in rec.reasons:
+        print(f"    - {reason}")
+    for opt in rec.optimizations:
+        print(f"    + {opt}")
+
+
+if __name__ == "__main__":
+    main()

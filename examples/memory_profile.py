@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Memory-utilisation profiles (the paper's Section 3.2 tool, Figure 4).
+
+Runs hotspot under system and managed memory with the 100 ms sampler and
+renders the RSS / GPU-used time series as ASCII sparklines: the managed
+version shows the RSS-drop / GPU-jump crossover when compute starts;
+the system version keeps GPU usage flat.
+
+Run:  python examples/memory_profile.py
+"""
+
+from repro import MemoryMode
+from repro.bench.harness import run_app
+
+BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(series, peak):
+    if peak <= 0:
+        return " " * len(series)
+    return "".join(
+        BLOCKS[min(int(v / peak * (len(BLOCKS) - 1)), len(BLOCKS) - 1)]
+        for v in series
+    )
+
+
+def main():
+    for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+        result, _ = run_app(
+            "hotspot",
+            mode,
+            migration=False,
+            profile=True,
+            config_overrides={"profiler_sample_period": 0.02},
+        )
+        prof = result.profile
+        rss = prof.rss_series
+        gpu = prof.gpu_series
+        peak = max(max(rss, default=1), max(gpu, default=1))
+        print(f"\n== hotspot / {mode.value} memory ==")
+        print(f"  duration {prof.samples[-1].time:.2f} s simulated, "
+              f"{len(prof.samples)} samples @ 20 ms")
+        print(f"  CPU RSS  |{sparkline(rss, peak)}| "
+              f"peak {prof.peak_rss_bytes() / 1e9:.2f} GB")
+        print(f"  GPU used |{sparkline(gpu, peak)}| "
+              f"peak {prof.peak_gpu_bytes() / 1e9:.2f} GB")
+        for t, label in prof.annotations:
+            print(f"  t={t:6.2f}s  {label}")
+
+    print(
+        "\nSystem memory: RSS ramps during CPU init, GPU usage stays flat\n"
+        "through compute (remote access, no migration). Managed memory:\n"
+        "the on-demand migration at compute start empties the RSS and\n"
+        "fills GPU memory -- the crossover of the paper's Figure 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

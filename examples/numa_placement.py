@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""NUMA placement policies on the superchip's two memory nodes.
+
+Grace Hopper's LPDDR5X and HBM3 appear as two NUMA nodes. Beyond the
+first-touch default the paper's applications use, the OS offers explicit
+placement; this example compares what a CPU streaming workload sees when
+its buffer is bound to each node or page-interleaved across both —
+trading average latency for aggregate bandwidth.
+
+Run:  python examples/numa_placement.py
+"""
+
+import numpy as np
+
+from repro import GraceHopperSystem, SystemConfig
+from repro.core import ArrayAccess
+from repro.mem import NumaAllocator, NumaNode, NumaPolicy, NumaTopology
+
+N_BYTES = 8 * 1024**3  # an 8 GiB CPU working set
+
+
+def run_policy(policy, node=NumaNode.CPU_DDR):
+    gh = GraceHopperSystem(SystemConfig.paper_gh200(page_size=65536))
+    numa = NumaAllocator(gh.config, gh.mem.physical)
+    arr = gh.malloc(np.float64, (N_BYTES // 8,), name="buf")
+    numa.place(arr.alloc, policy, node)
+    # Touch whatever remains unmapped (first-touch on the CPU), then
+    # stream the buffer with the full core count.
+    gh.cpu_phase("touch", [ArrayAccess.write_(arr)], threads=72)
+    t0 = gh.now
+    gh.cpu_phase("stream", [ArrayAccess.read(arr)], threads=72)
+    dt = gh.now - t0
+    from repro.sim.config import Location
+
+    split = (
+        arr.alloc.pages_at(Location.CPU),
+        arr.alloc.pages_at(Location.GPU),
+    )
+    return dt, N_BYTES / dt / 1e9, split
+
+
+def main():
+    topo = NumaTopology(SystemConfig.paper_gh200())
+    print("CPU-visible bandwidth by node:")
+    for node in topo.nodes():
+        print(f"  {node.name:8s} {topo.cpu_visible_bandwidth(node) / 1e9:6.0f} GB/s")
+    print(f"  interleaved model: {topo.interleaved_cpu_bandwidth() / 1e9:6.0f} GB/s\n")
+
+    cases = [
+        ("first-touch (DDR)", NumaPolicy.DEFAULT, NumaNode.CPU_DDR),
+        ("bind DDR", NumaPolicy.BIND, NumaNode.CPU_DDR),
+        ("bind HBM", NumaPolicy.BIND, NumaNode.GPU_HBM),
+        ("interleave", NumaPolicy.INTERLEAVE, NumaNode.CPU_DDR),
+    ]
+    print(f"{'placement':20s} {'stream s':>9s} {'GB/s':>7s} {'pages cpu/gpu':>16s}")
+    print("-" * 58)
+    for label, policy, node in cases:
+        dt, gbs, split = run_policy(policy, node)
+        print(f"{label:20s} {dt:>9.3f} {gbs:>7.0f} {split[0]:>8d}/{split[1]}")
+
+    print(
+        "\nBinding to HBM drags every CPU read over NVLink-C2C; the\n"
+        "first-touch default keeps CPU data in LPDDR5X (what the paper's\n"
+        "testbed relies on). Interleaving lands between the two bound\n"
+        "cases in this executor (it serialises the remote stream); the\n"
+        "topology model above shows the idealised dual-stream ceiling\n"
+        "that perfectly overlapped prefetching could reach."
+    )
+
+
+if __name__ == "__main__":
+    main()

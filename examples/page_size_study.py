@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""System page size study (the paper's Section 5.2 in miniature).
+
+Runs every Rodinia application's system-memory version under 4 KB and
+64 KB system pages and prints the per-phase times side by side:
+de-allocation collapses at 64 KB (fewer PTEs to tear down) while compute
+usually prefers 4 KB (automatic migrations of barely-reused data hurt),
+with SRAD as the iterative exception.
+
+Run:  python examples/page_size_study.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro import MemoryMode
+from repro.apps import get_application
+from repro.bench.harness import run_app
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem/machine scale (1.0 = paper testbed)")
+    args = parser.parse_args()
+
+    apps = ["bfs", "hotspot", "needle", "pathfinder", "srad"]
+    print(
+        f"{'app':12s} {'page':>5s} {'alloc ms':>10s} {'compute ms':>11s} "
+        f"{'dealloc ms':>11s} {'total ms':>10s}"
+    )
+    print("-" * 64)
+    for name in apps:
+        for page in (4096, 65536):
+            result, _ = run_app(
+                name,
+                MemoryMode.SYSTEM,
+                scale=args.scale,
+                page_size=page,
+                migration=True,
+            )
+            p = result.phases
+            print(
+                f"{name:12s} {page // 1024:>4d}K "
+                f"{p.allocation * 1e3:>10.2f} {p.compute * 1e3:>11.2f} "
+                f"{p.deallocation * 1e3:>11.2f} "
+                f"{result.reported_total * 1e3:>10.2f}"
+            )
+        print()
+
+    print(
+        "64 KB pages slash alloc/dealloc (16x fewer PTEs) but can slow\n"
+        "compute: every page crosses the 256-access migration threshold\n"
+        "in one sweep, so the driver migrates data that is never reused.\n"
+        "SRAD re-reads its image 12 times and is the exception that\n"
+        "profits (the paper's Figures 6-7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

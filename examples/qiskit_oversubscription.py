@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quantum Volume under GPU memory oversubscription (Sections 4 and 7).
+
+Sweeps the Quantum Volume simulation across qubit counts on the simulated
+GH200, through the point where the 8*2^N-byte statevector no longer fits
+in the 96 GB of HBM3. Compares the explicit chunked pipeline, system
+memory, managed memory, and managed memory with explicit prefetching —
+the story of the paper's Figures 12-13.
+
+Run:  python examples/qiskit_oversubscription.py [--qubits 30 32 33 34]
+"""
+
+import argparse
+
+from repro import MemoryMode
+from repro.apps import get_application
+from repro.bench.harness import make_config, run_app
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--qubits", type=int, nargs="+",
+                        default=[30, 32, 33, 34])
+    args = parser.parse_args()
+
+    cfg = make_config(1.0)
+    gpu_gb = cfg.gpu_memory_bytes / 2**30
+    print(f"GPU memory: {gpu_gb:.0f} GiB | statevector = 8 * 2^N bytes\n")
+
+    header = (
+        f"{'qubits':>6s} {'sv GiB':>8s} {'fits?':>6s} "
+        f"{'explicit s':>11s} {'system s':>10s} {'managed s':>10s} "
+        f"{'mng+prefetch s':>15s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for q in args.qubits:
+        sv_gib = (8 << q) / 2**30
+        fits = "yes" if (8 << q) < cfg.gpu_memory_bytes else "NO"
+        times = {}
+        for label, mode, kwargs in (
+            ("explicit", MemoryMode.EXPLICIT, {}),
+            ("system", MemoryMode.SYSTEM, {}),
+            ("managed", MemoryMode.MANAGED, {}),
+            ("prefetch", MemoryMode.MANAGED, {"prefetch": True}),
+        ):
+            result, _ = run_app(
+                "qiskit",
+                mode,
+                page_size=65536,
+                migration=False,
+                app_kwargs={"qubits": q, **kwargs},
+            )
+            times[label] = result.reported_total
+        print(
+            f"{q:>6d} {sv_gib:>8.1f} {fits:>6s} "
+            f"{times['explicit']:>11.2f} {times['system']:>10.2f} "
+            f"{times['managed']:>10.2f} {times['prefetch']:>15.2f}"
+        )
+
+    print(
+        "\nOnce the statevector exceeds HBM (34 qubits), the managed\n"
+        "version stops migrating and reads remotely at low bandwidth;\n"
+        "explicit cudaMemPrefetchAsync restores GPU-memory-fed compute,\n"
+        "approaching the explicit pipeline's ideal (paper Figures 12-13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

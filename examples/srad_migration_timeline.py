@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""SRAD access-counter migration timeline (the paper's Figure 10).
+
+Runs SRAD's system-memory and managed-memory versions with automatic
+migration enabled and prints, per iteration, the execution time and the
+memory traffic split between GPU memory and NVLink-C2C — showing the
+three sub-phases of the system version: first-touch spike, migration
+ramp, and a steady state that outperforms managed memory.
+
+Run:  python examples/srad_migration_timeline.py
+"""
+
+from repro import MemoryMode
+from repro.bench.harness import run_app
+
+
+def ascii_bar(value, peak, width=30):
+    n = int(width * value / peak) if peak else 0
+    return "#" * n
+
+
+def main():
+    runs = {}
+    for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+        result, gh = run_app("srad", mode, page_size=65536, migration=True)
+        runs[mode] = result
+        total_migrated = gh.counters.total.migration_h2d_bytes
+        print(
+            f"{mode.value}: total migrated to GPU "
+            f"{total_migrated / 1e9:.2f} GB, "
+            f"D2H migrations: {gh.counters.total.pages_migrated_d2h} pages"
+        )
+
+    peak = max(
+        t for r in runs.values() for t in r.iteration_times[1:]
+    )
+    print(f"\n{'iter':>4s}  {'system ms':>10s} {'managed ms':>11s}   "
+          f"{'system C2C GB':>13s} {'system GPU GB':>13s}")
+    print("-" * 78)
+    sysr = runs[MemoryMode.SYSTEM]
+    mngr = runs[MemoryMode.MANAGED]
+    for i in range(len(sysr.iteration_times)):
+        s_ms = sysr.iteration_times[i] * 1e3
+        m_ms = mngr.iteration_times[i] * 1e3
+        c2c = sysr.iteration_traffic[i]["c2c_read_bytes"] / 1e9
+        gpu = sysr.iteration_traffic[i]["gpu_read_bytes"] / 1e9
+        marker = ""
+        if i == 0:
+            marker = "  <- first-touch spike"
+        elif c2c > 0.05:
+            marker = "  <- migration ramp"
+        elif s_ms < m_ms:
+            marker = "  <- system wins"
+        print(
+            f"{i + 1:>4d}  {s_ms:>10.1f} {m_ms:>11.1f}   "
+            f"{c2c:>13.2f} {gpu:>13.2f}{marker}"
+        )
+
+    print(
+        "\nC2C reads decay to zero as access-counter notifications migrate\n"
+        "the working set to GPU memory (iterations 2-4); from iteration 5\n"
+        "the system version reads everything locally and beats managed\n"
+        "memory, whose CPU statistics step keeps thrashing pages back."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — a simulated reproduction of "Harnessing Integrated CPU-GPU
+System Memory for HPC: a first look into Grace Hopper" (ICPP 2024).
+
+The package provides:
+
+* a discrete-event performance model of the GH200 unified memory system
+  (:mod:`repro.sim`, :mod:`repro.mem`, :mod:`repro.interconnect`,
+  :mod:`repro.devices`);
+* the programming model of Table 1 (:mod:`repro.core`);
+* the paper's profiling tooling (:mod:`repro.profiling`);
+* the six studied applications (:mod:`repro.apps`) and microbenchmarks
+  (:mod:`repro.workloads`);
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import GraceHopperSystem, SystemConfig, MemoryMode
+
+    gh = GraceHopperSystem(SystemConfig.paper_gh200(page_size=65536))
+    x = gh.malloc("float32", (1 << 20,), name="x")
+    from repro.core import ArrayAccess
+    gh.cpu_phase("init", [ArrayAccess.write_(x)])
+    rec = gh.launch_kernel("saxpy", [ArrayAccess.read(x)])
+    print(rec.duration, gh.counters.total.c2c_read_bytes)
+"""
+
+from .core import (
+    ArrayAccess,
+    GraceHopperSystem,
+    MemoryMode,
+    Phase,
+    PhaseBreakdown,
+    UnifiedArray,
+    UnifiedBuffer,
+)
+from .mem import AllocKind, PageSet
+from .sim import FirstTouchPolicy, Location, Processor, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraceHopperSystem",
+    "SystemConfig",
+    "MemoryMode",
+    "UnifiedArray",
+    "UnifiedBuffer",
+    "ArrayAccess",
+    "Phase",
+    "PhaseBreakdown",
+    "PageSet",
+    "AllocKind",
+    "Processor",
+    "Location",
+    "FirstTouchPolicy",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""The six studied applications (Table 2 of the paper)."""
+
+from .base import (
+    Application,
+    AppResult,
+    application_names,
+    applications_table,
+    get_application,
+    register_application,
+)
+from .bfs import Bfs
+from .hotspot import Hotspot
+from .needle import Needle
+from .pathfinder import Pathfinder
+from .quantum import QuantumVolume
+from .srad import Srad
+from .synthetic import Gups, HotCold, Triad
+
+__all__ = [
+    "Application",
+    "AppResult",
+    "application_names",
+    "applications_table",
+    "get_application",
+    "register_application",
+    "Bfs",
+    "Hotspot",
+    "Needle",
+    "Pathfinder",
+    "QuantumVolume",
+    "Srad",
+    "Gups",
+    "Triad",
+    "HotCold",
+]

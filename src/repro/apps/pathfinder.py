@@ -1,0 +1,128 @@
+"""Pathfinder: 2-D grid dynamic-programming path search (Rodinia).
+
+A regular-access application (Table 2, 100k x 20k input). The wall grid
+is CPU-initialised; the GPU sweeps it row-slab by row-slab (Rodinia's
+pyramid blocks), keeping only two result rows live. The access pattern is
+a single streaming pass over the whole wall — the archetype that favours
+system memory's migration-free remote reads over managed memory's
+migrate-everything-once behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import ArrayAccess
+from ..core.porting import MemoryMode
+from ..core.runtime import GraceHopperSystem
+from .base import Application, AppResult, register_application
+
+
+def pathfinder_reference(wall: np.ndarray) -> np.ndarray:
+    """Reference DP: minimum path cost per column, bottom row first."""
+    dist = wall[0].astype(np.int64, copy=True)
+    for r in range(1, wall.shape[0]):
+        left = np.concatenate([[np.iinfo(np.int64).max], dist[:-1]])
+        right = np.concatenate([dist[1:], [np.iinfo(np.int64).max]])
+        dist = wall[r] + np.minimum(dist, np.minimum(left, right))
+    return dist
+
+
+@register_application
+class Pathfinder(Application):
+    """2-D grid pathfinding algorithm."""
+
+    name = "pathfinder"
+    pattern = "regular"
+    paper_input = "100k x 20k"
+
+    PAPER_COLS = 100_000
+    PAPER_ROWS = 20_000
+
+    def __init__(self, scale: float = 1.0, pyramid_height: int = 20, seed: int = 11):
+        super().__init__(scale)
+        self.cols = self.dim(self.PAPER_COLS)
+        self.rows = self.dim(self.PAPER_ROWS)
+        self.pyramid_height = max(1, pyramid_height)
+        self.seed = seed
+
+    def working_set_bytes(self) -> int:
+        return self.rows * self.cols * 4 + 2 * self.cols * 4
+
+    def setup(self, gh: GraceHopperSystem, mode: MemoryMode, materialize: bool):
+        self.wall = self.buffer(
+            gh, mode, "wall", np.int32, (self.rows, self.cols),
+            materialize=materialize,
+        )
+        # The two ping-pong result rows are GPU intermediaries in Rodinia.
+        self.result = self.buffer(
+            gh, mode, "result", np.int32, (2, self.cols), materialize=materialize
+        )
+
+    def cpu_init(self, gh: GraceHopperSystem, mode: MemoryMode) -> None:
+        def fill():
+            if self.wall.cpu_target.materialized:
+                rng = np.random.default_rng(self.seed)
+                self.wall.cpu_target.np[:] = rng.integers(
+                    0, 10, size=(self.rows, self.cols), dtype=np.int32
+                )
+
+        self.chunked_cpu_init(gh, [self.wall.cpu_target], compute=fill)
+
+    def compute(self, gh: GraceHopperSystem, mode: MemoryMode, result: AppResult):
+        self.wall.h2d()
+        wall_arr = self.wall.gpu_target
+        res_arr = self.result.gpu_target
+        materialized = wall_arr.materialized
+        dist = [None]
+        if materialized:
+            dist[0] = wall_arr.np[0].astype(np.int64)
+
+        row = 1
+        launch = 0
+        while row < self.rows:
+            slab_end = min(row + self.pyramid_height, self.rows)
+
+            def step(row=row, slab_end=slab_end):
+                if materialized:
+                    d = dist[0]
+                    big = np.iinfo(np.int64).max
+                    for r in range(row, slab_end):
+                        left = np.concatenate([[big], d[:-1]])
+                        right = np.concatenate([d[1:], [big]])
+                        d = wall_arr.np[r] + np.minimum(
+                            d, np.minimum(left, right)
+                        )
+                    dist[0] = d
+
+            t0 = gh.now
+            gh.launch_kernel(
+                f"pathfinder-slab-{launch}",
+                [
+                    ArrayAccess.read(wall_arr, wall_arr.pages_of_rows(row, slab_end)),
+                    ArrayAccess.read(res_arr),
+                    ArrayAccess.write_(res_arr),
+                ],
+                flops=4.0 * (slab_end - row) * self.cols,
+                compute=step,
+            )
+            result.iteration_times.append(gh.now - t0)
+            row = slab_end
+            launch += 1
+
+        self.result.d2h()
+        result.correctness["min_cost"] = (
+            int(dist[0].min()) if materialized else None
+        )
+
+    def verify(self, result: AppResult) -> None:
+        got = result.correctness.get("min_cost")
+        if got is None:
+            return
+        rng = np.random.default_rng(self.seed)
+        wall = rng.integers(0, 10, size=(self.rows, self.cols), dtype=np.int32)
+        expect = int(pathfinder_reference(wall).min())
+        if got != expect:
+            raise AssertionError(
+                f"pathfinder min cost {got} != reference {expect}"
+            )

@@ -1,0 +1,38 @@
+"""Quantum Volume statevector simulation (Qiskit-Aer stand-in)."""
+
+from .app import AMPLITUDE_BYTES, QuantumVolume
+from .circuits import (
+    QuantumVolumeCircuit,
+    circuit_as_unitary,
+    generate_qv_circuit,
+    run_circuit,
+)
+from .gates import Circuit, ghz_circuit, qft_circuit
+from .observables import (
+    Hamiltonian,
+    PauliString,
+    expectation,
+    ising_hamiltonian,
+)
+from .statevector import HADAMARD, PAULI_X, PAULI_Z, Statevector, random_su4
+
+__all__ = [
+    "QuantumVolume",
+    "AMPLITUDE_BYTES",
+    "Statevector",
+    "random_su4",
+    "PAULI_X",
+    "PAULI_Z",
+    "HADAMARD",
+    "QuantumVolumeCircuit",
+    "generate_qv_circuit",
+    "run_circuit",
+    "circuit_as_unitary",
+    "Circuit",
+    "ghz_circuit",
+    "qft_circuit",
+    "PauliString",
+    "Hamiltonian",
+    "expectation",
+    "ising_hamiltonian",
+]

@@ -1,0 +1,90 @@
+"""Quantum Volume circuit generation.
+
+A Quantum Volume circuit on ``n`` qubits has depth ``n``; each layer
+draws a random permutation of the qubits and applies a Haar-random SU(4)
+gate to each adjacent pair of the permutation — the benchmark the paper
+simulates with Qiskit-Aer at 30-34 qubits (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .statevector import Statevector, random_su4
+
+
+@dataclass(frozen=True)
+class TwoQubitGate:
+    q0: int
+    q1: int
+    matrix: np.ndarray
+
+
+@dataclass
+class QuantumVolumeCircuit:
+    n_qubits: int
+    depth: int
+    layers: list[list[TwoQubitGate]] = field(default_factory=list)
+
+    @property
+    def n_gates(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+
+def generate_qv_circuit(
+    n_qubits: int, rng: np.random.Generator, depth: int | None = None
+) -> QuantumVolumeCircuit:
+    """Generate a Quantum Volume circuit (depth defaults to ``n_qubits``)."""
+    if n_qubits < 2:
+        raise ValueError("Quantum Volume needs at least two qubits")
+    depth = n_qubits if depth is None else depth
+    circuit = QuantumVolumeCircuit(n_qubits=n_qubits, depth=depth)
+    for _ in range(depth):
+        perm = rng.permutation(n_qubits)
+        layer = [
+            TwoQubitGate(int(perm[2 * i]), int(perm[2 * i + 1]), random_su4(rng))
+            for i in range(n_qubits // 2)
+        ]
+        circuit.layers.append(layer)
+    return circuit
+
+
+def run_circuit(state: Statevector, circuit: QuantumVolumeCircuit) -> None:
+    """Apply all circuit layers to ``state`` in order."""
+    if state.n_qubits != circuit.n_qubits:
+        raise ValueError("statevector/circuit qubit count mismatch")
+    for layer in circuit.layers:
+        for gate in layer:
+            state.apply_two(gate.matrix, gate.q0, gate.q1)
+
+
+def circuit_as_unitary(circuit: QuantumVolumeCircuit) -> np.ndarray:
+    """The full 2^n x 2^n unitary (small n only; used by tests)."""
+    n = circuit.n_qubits
+    dim = 1 << n
+    if n > 12:
+        raise ValueError("unitary construction is exponential; use n <= 12")
+    u = np.eye(dim, dtype=np.complex128)
+    for layer in circuit.layers:
+        for gate in layer:
+            u = _embed_two_qubit(gate.matrix, gate.q0, gate.q1, n) @ u
+    return u
+
+
+def _embed_two_qubit(gate: np.ndarray, q0: int, q1: int, n: int) -> np.ndarray:
+    """Embed a 4x4 gate on (q0, q1) into the full 2^n unitary."""
+    dim = 1 << n
+    full = np.zeros((dim, dim), dtype=np.complex128)
+    g = np.asarray(gate, dtype=np.complex128)
+    for col in range(dim):
+        b0 = (col >> q0) & 1
+        b1 = (col >> q1) & 1
+        src = (b0 << 1) | b1
+        base = col & ~((1 << q0) | (1 << q1))
+        for dst in range(4):
+            d0, d1 = (dst >> 1) & 1, dst & 1
+            row = base | (d0 << q0) | (d1 << q1)
+            full[row, col] += g[dst, src]
+    return full

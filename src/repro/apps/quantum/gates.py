@@ -1,0 +1,197 @@
+"""Standard gate library and a small circuit builder.
+
+Extends the Quantum Volume core with the common single- and two-qubit
+gates (the set Qiskit-Aer's statevector backend executes natively), so
+the simulator stand-in can run arbitrary circuits, not just QV — used by
+the tests to cross-validate gate identities and by the GHZ/QFT examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .statevector import Statevector
+
+# -- constant gates -----------------------------------------------------------
+
+I2 = np.eye(2, dtype=np.complex64)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex64)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex64)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex64)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex64) / math.sqrt(2)
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex64)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=np.complex64)
+TDG = T.conj().T
+
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+    dtype=np.complex64,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex64)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+    dtype=np.complex64,
+)
+
+
+# -- parameterised gates ---------------------------------------------------------
+
+
+def rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex64)
+
+
+def ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex64)
+
+
+def rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]],
+        dtype=np.complex64,
+    )
+
+
+def phase(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=np.complex64)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """The general single-qubit rotation (Qiskit's U gate)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex64,
+    )
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled-RZ, the building block of the QFT."""
+    out = np.eye(4, dtype=np.complex64)
+    out[2:, 2:] = rz(theta)
+    return out
+
+
+def cphase(lam: float) -> np.ndarray:
+    out = np.eye(4, dtype=np.complex64)
+    out[3, 3] = np.exp(1j * lam)
+    return out
+
+
+# -- circuit builder -------------------------------------------------------------
+
+
+@dataclass
+class Operation:
+    matrix: np.ndarray
+    qubits: tuple[int, ...]
+    label: str = ""
+
+
+@dataclass
+class Circuit:
+    """A minimal gate-list circuit executable on :class:`Statevector`."""
+
+    n_qubits: int
+    ops: list[Operation] = field(default_factory=list)
+
+    def _append(self, matrix, qubits, label):
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit {q} out of range")
+        self.ops.append(Operation(matrix, tuple(qubits), label))
+        return self
+
+    # single-qubit
+    def x(self, q):
+        return self._append(X, (q,), "x")
+
+    def y(self, q):
+        return self._append(Y, (q,), "y")
+
+    def z(self, q):
+        return self._append(Z, (q,), "z")
+
+    def h(self, q):
+        return self._append(H, (q,), "h")
+
+    def s(self, q):
+        return self._append(S, (q,), "s")
+
+    def t(self, q):
+        return self._append(T, (q,), "t")
+
+    def rx(self, theta, q):
+        return self._append(rx(theta), (q,), f"rx({theta:.3f})")
+
+    def ry(self, theta, q):
+        return self._append(ry(theta), (q,), f"ry({theta:.3f})")
+
+    def rz(self, theta, q):
+        return self._append(rz(theta), (q,), f"rz({theta:.3f})")
+
+    def u3(self, theta, phi, lam, q):
+        return self._append(u3(theta, phi, lam), (q,), "u3")
+
+    # two-qubit
+    def cx(self, control, target):
+        return self._append(CX, (control, target), "cx")
+
+    def cz(self, q0, q1):
+        return self._append(CZ, (q0, q1), "cz")
+
+    def swap(self, q0, q1):
+        return self._append(SWAP, (q0, q1), "swap")
+
+    def cphase(self, lam, control, target):
+        return self._append(cphase(lam), (control, target), "cphase")
+
+    @property
+    def depth_ops(self) -> int:
+        return len(self.ops)
+
+    def run(self, state: Statevector | None = None) -> Statevector:
+        state = state or Statevector(self.n_qubits)
+        if state.n_qubits != self.n_qubits:
+            raise ValueError("statevector size mismatch")
+        for op in self.ops:
+            if len(op.qubits) == 1:
+                state.apply_single(op.matrix, op.qubits[0])
+            elif len(op.qubits) == 2:
+                state.apply_two(op.matrix, op.qubits[0], op.qubits[1])
+            else:  # pragma: no cover - builder only emits 1-2 qubit ops
+                raise ValueError("only 1- and 2-qubit operations supported")
+        return state
+
+
+# -- reference circuits -------------------------------------------------------------
+
+
+def ghz_circuit(n_qubits: int) -> Circuit:
+    """|00..0> + |11..1> (up to normalisation)."""
+    c = Circuit(n_qubits)
+    c.h(0)
+    for q in range(1, n_qubits):
+        c.cx(q - 1, q)
+    return c
+
+
+def qft_circuit(n_qubits: int) -> Circuit:
+    """The quantum Fourier transform (with final qubit reversal)."""
+    c = Circuit(n_qubits)
+    for q in reversed(range(n_qubits)):
+        c.h(q)
+        for k, lower in enumerate(reversed(range(q)), start=1):
+            c.cphase(math.pi / (1 << k), lower, q)
+    for q in range(n_qubits // 2):
+        c.swap(q, n_qubits - 1 - q)
+    return c

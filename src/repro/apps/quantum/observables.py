@@ -1,0 +1,113 @@
+"""Pauli-string observables and expectation values.
+
+Completes the Qiskit-Aer stand-in's measurement surface: expectation
+values of tensor products of Pauli operators (the observables quantum
+algorithms actually estimate), computed exactly from the statevector
+without materialising any 2^n matrix — each Pauli factor is applied as a
+single-qubit gate sweep, matching how Aer evaluates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .statevector import PAULI_X, PAULI_Z, Statevector
+
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex64)
+_PAULIS = {"I": None, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A tensor product like ``ZZI`` or ``XIY``.
+
+    The label reads left-to-right from the *highest* qubit down, matching
+    the usual big-endian circuit notation: ``PauliString("ZI")`` acts
+    with Z on qubit 1 and identity on qubit 0.
+    """
+
+    label: str
+    coefficient: complex = 1.0
+
+    def __post_init__(self):
+        if not self.label:
+            raise ValueError("empty Pauli label")
+        bad = set(self.label) - set(_PAULIS)
+        if bad:
+            raise ValueError(f"unknown Pauli factors: {sorted(bad)}")
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.label)
+
+    def factor(self, qubit: int) -> str:
+        """The Pauli acting on ``qubit`` (qubit 0 = least significant)."""
+        if not 0 <= qubit < self.n_qubits:
+            raise ValueError(f"qubit {qubit} out of range")
+        return self.label[self.n_qubits - 1 - qubit]
+
+    def apply(self, state: Statevector) -> Statevector:
+        """Return P|psi> as a fresh statevector."""
+        if state.n_qubits != self.n_qubits:
+            raise ValueError("statevector/observable size mismatch")
+        out = Statevector(state.n_qubits, dtype=state.dtype)
+        out.amplitudes[:] = state.amplitudes
+        for q in range(self.n_qubits):
+            gate = _PAULIS[self.factor(q)]
+            if gate is not None:
+                out.apply_single(gate, q)
+        if self.coefficient != 1.0:
+            out.amplitudes *= np.asarray(self.coefficient, dtype=out.dtype)
+        return out
+
+
+def expectation(state: Statevector, pauli: PauliString) -> complex:
+    """<psi| P |psi>, exact."""
+    transformed = pauli.apply(state)
+    return complex(
+        np.vdot(
+            state.amplitudes.astype(np.complex128),
+            transformed.amplitudes.astype(np.complex128),
+        )
+    )
+
+
+@dataclass
+class Hamiltonian:
+    """A real-coefficient sum of Pauli strings."""
+
+    terms: list[PauliString]
+
+    def __post_init__(self):
+        if not self.terms:
+            raise ValueError("Hamiltonian needs at least one term")
+        n = self.terms[0].n_qubits
+        if any(t.n_qubits != n for t in self.terms):
+            raise ValueError("all terms must act on the same register")
+
+    @property
+    def n_qubits(self) -> int:
+        return self.terms[0].n_qubits
+
+    def expectation(self, state: Statevector) -> float:
+        total = sum(expectation(state, t) for t in self.terms)
+        return float(total.real)
+
+
+def ising_hamiltonian(n_qubits: int, j: float = 1.0, h: float = 0.5) -> Hamiltonian:
+    """The transverse-field Ising chain: -J sum ZZ - h sum X."""
+    if n_qubits < 2:
+        raise ValueError("Ising chain needs at least two qubits")
+    terms = []
+    for q in range(n_qubits - 1):
+        label = ["I"] * n_qubits
+        label[n_qubits - 1 - q] = "Z"
+        label[n_qubits - 1 - (q + 1)] = "Z"
+        terms.append(PauliString("".join(label), coefficient=-j))
+    for q in range(n_qubits):
+        label = ["I"] * n_qubits
+        label[n_qubits - 1 - q] = "X"
+        terms.append(PauliString("".join(label), coefficient=-h))
+    return Hamiltonian(terms)

@@ -1,0 +1,239 @@
+"""Synthetic workloads beyond the paper's six applications.
+
+The paper closes with: "Future works will need a deep understanding of
+the access counter-based migration on diverse workloads." These three
+synthetic applications span the access-pattern space the Table 2 set
+leaves uncovered, and feed the ``abl_*`` migration ablations:
+
+* :class:`Gups` — pure random updates (HPCC RandomAccess): the worst
+  case for page-granularity migration, every page touched uniformly but
+  sparsely;
+* :class:`Triad` — pure streaming with a configurable reuse count: the
+  knob that moves a workload across the migrate/don't-migrate frontier;
+* :class:`HotCold` — a skewed working set (a small hot region absorbing
+  most accesses): the best case for access-counter migration, which can
+  move *only* the hot pages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import ArrayAccess
+from ..core.porting import MemoryMode
+from ..core.runtime import GraceHopperSystem
+from ..workloads.patterns import irregular_gather
+from .base import Application, AppResult, register_application
+
+
+@register_application
+class Gups(Application):
+    """Giga-updates-per-second random access (HPCC RandomAccess)."""
+
+    name = "gups"
+    pattern = "irregular"
+    paper_input = "4 GiB table"
+    category = "extra"
+
+    PAPER_TABLE_BYTES = 4 * 1024**3
+
+    def __init__(self, scale: float = 1.0, updates_per_epoch: int = 1 << 22,
+                 epochs: int = 8, seed: int = 23):
+        super().__init__(scale)
+        self.table_words = max(
+            1 << 10, int(self.PAPER_TABLE_BYTES * scale) // 8
+        )
+        self.updates = updates_per_epoch
+        self.epochs = epochs
+        self.seed = seed
+
+    def working_set_bytes(self) -> int:
+        return self.table_words * 8
+
+    def setup(self, gh: GraceHopperSystem, mode: MemoryMode, materialize: bool):
+        self.table = self.buffer(
+            gh, mode, "table", np.uint64, (self.table_words,),
+            materialize=materialize,
+        )
+
+    def cpu_init(self, gh: GraceHopperSystem, mode: MemoryMode) -> None:
+        def fill():
+            if self.table.cpu_target.materialized:
+                self.table.cpu_target.np[:] = np.arange(
+                    self.table_words, dtype=np.uint64
+                )
+
+        self.chunked_cpu_init(gh, [self.table.cpu_target], compute=fill)
+
+    def compute(self, gh: GraceHopperSystem, mode: MemoryMode, result: AppResult):
+        self.table.h2d()
+        arr = self.table.gpu_target
+        rng = np.random.default_rng(self.seed)
+        for epoch in range(self.epochs):
+            gather = irregular_gather(
+                arr, min(self.updates, arr.size), rng=rng, write=True
+            )
+            t0 = gh.now
+            gh.launch_kernel(
+                f"gups-{epoch}",
+                [gather],
+                atomics=min(self.updates, arr.size),
+            )
+            result.iteration_times.append(gh.now - t0)
+        self.table.d2h()
+        if arr.materialized:
+            result.correctness["checksum"] = int(
+                np.bitwise_xor.reduce(arr.np)
+            )
+
+
+@register_application
+class Triad(Application):
+    """STREAM-triad style streaming with a tunable reuse count."""
+
+    name = "triad"
+    pattern = "regular"
+    paper_input = "3 x 2 GiB streams"
+    category = "extra"
+
+    PAPER_STREAM_BYTES = 2 * 1024**3
+
+    def __init__(self, scale: float = 1.0, passes: int = 1, seed: int = 29):
+        super().__init__(scale)
+        self.n = max(1 << 10, int(self.PAPER_STREAM_BYTES * scale) // 8)
+        self.passes = max(1, passes)
+        self.seed = seed
+
+    def working_set_bytes(self) -> int:
+        return 3 * self.n * 8
+
+    def setup(self, gh: GraceHopperSystem, mode: MemoryMode, materialize: bool):
+        self.a = self.buffer(gh, mode, "a", np.float64, (self.n,),
+                             materialize=materialize)
+        self.b = self.buffer(gh, mode, "b", np.float64, (self.n,),
+                             materialize=materialize)
+        self.c = self.buffer(gh, mode, "c", np.float64, (self.n,),
+                             materialize=materialize)
+
+    def cpu_init(self, gh: GraceHopperSystem, mode: MemoryMode) -> None:
+        def fill():
+            if self.b.cpu_target.materialized:
+                rng = np.random.default_rng(self.seed)
+                self.b.cpu_target.np[:] = rng.random(self.n)
+                self.c.cpu_target.np[:] = rng.random(self.n)
+
+        self.chunked_cpu_init(
+            gh, [self.b.cpu_target, self.c.cpu_target], compute=fill
+        )
+
+    def compute(self, gh: GraceHopperSystem, mode: MemoryMode, result: AppResult):
+        for buf in (self.a, self.b, self.c):
+            buf.h2d()
+        a, b, c = (x.gpu_target for x in (self.a, self.b, self.c))
+        for p in range(self.passes):
+            def triad():
+                if a.materialized:
+                    a.np[:] = b.np + 3.0 * c.np
+
+            t0 = gh.now
+            gh.launch_kernel(
+                f"triad-{p}",
+                [
+                    ArrayAccess.read(b),
+                    ArrayAccess.read(c),
+                    ArrayAccess.write_(a),
+                ],
+                flops=2.0 * self.n,
+                compute=triad,
+            )
+            result.iteration_times.append(gh.now - t0)
+        self.a.d2h()
+        if a.materialized:
+            result.correctness["sum"] = float(a.np.sum())
+
+    def verify(self, result: AppResult) -> None:
+        got = result.correctness.get("sum")
+        if got is None:
+            return
+        rng = np.random.default_rng(self.seed)
+        b = rng.random(self.n)
+        c = rng.random(self.n)
+        expect = float((b + 3.0 * c).sum())
+        if abs(got - expect) > 1e-6 * max(abs(expect), 1.0):
+            raise AssertionError(f"triad sum {got} != {expect}")
+
+
+@register_application
+class HotCold(Application):
+    """A skewed working set: a small hot region takes most accesses."""
+
+    name = "hotcold"
+    pattern = "mixed"
+    paper_input = "8 GiB, 90/10 skew"
+    category = "extra"
+
+    PAPER_BYTES = 8 * 1024**3
+
+    def __init__(self, scale: float = 1.0, hot_fraction: float = 1 / 16,
+                 hot_access_share: float = 0.9, epochs: int = 10,
+                 seed: int = 31):
+        super().__init__(scale)
+        if not 0 < hot_fraction < 1:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0 < hot_access_share <= 1:
+            raise ValueError("hot_access_share must be in (0, 1]")
+        self.words = max(1 << 12, int(self.PAPER_BYTES * scale) // 8)
+        self.hot_fraction = hot_fraction
+        self.hot_share = hot_access_share
+        self.epochs = epochs
+        self.seed = seed
+
+    def working_set_bytes(self) -> int:
+        return self.words * 8
+
+    def setup(self, gh: GraceHopperSystem, mode: MemoryMode, materialize: bool):
+        self.data = self.buffer(
+            gh, mode, "data", np.float64, (self.words,), materialize=materialize
+        )
+
+    def cpu_init(self, gh: GraceHopperSystem, mode: MemoryMode) -> None:
+        self.chunked_cpu_init(gh, [self.data.cpu_target])
+
+    def compute(self, gh: GraceHopperSystem, mode: MemoryMode, result: AppResult):
+        self.data.h2d()
+        arr = self.data.gpu_target
+        hot_words = int(self.words * self.hot_fraction)
+        hot_pages = arr.pages_of_elements(0, hot_words)
+        cold_pages = arr.pages_of_elements(hot_words, self.words)
+        # Per-epoch useful traffic: the hot region is re-read in full with
+        # `hot_share` of the access budget; the cold remainder is sampled.
+        cold_fraction = max(
+            (1 - self.hot_share) * self.hot_fraction / self.hot_share
+            / max(1 - self.hot_fraction, 1e-9),
+            arr.itemsize / arr.page_size,
+        )
+        for epoch in range(self.epochs):
+            t0 = gh.now
+            c0 = gh.counters.total.snapshot()
+            gh.launch_kernel(
+                f"hotcold-{epoch}",
+                [
+                    ArrayAccess.read(arr, hot_pages),
+                    ArrayAccess.read(
+                        arr, cold_pages,
+                        fraction=min(1.0, cold_fraction), density=0.25,
+                    ),
+                ],
+                flops=2.0 * hot_words,
+            )
+            result.iteration_times.append(gh.now - t0)
+            delta = gh.counters.total.delta(c0)
+            result.iteration_traffic.append(
+                {
+                    "gpu_read_bytes": delta.hbm_read_bytes,
+                    "c2c_read_bytes": delta.c2c_read_bytes,
+                    "migrated_h2d": delta.migration_h2d_bytes,
+                    "migrated_d2h": delta.migration_d2h_bytes,
+                }
+            )
+        self.data.d2h()

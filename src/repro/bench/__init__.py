@@ -1,0 +1,31 @@
+"""Experiment harness regenerating every table and figure of the paper,
+plus ablations on the design choices the study highlights."""
+
+from . import ablations as _ablations  # noqa: F401  (registers experiments)
+from .experiments import experiment_ids, run_experiment
+from .harness import ExperimentResult, make_config, run_app, scaled_qubits
+from .compare import diff_files, diff_results, render_diff
+from .export import load_json, write_csv, write_json
+from .plots import render_plot
+from .report import render_markdown, render_table
+from .sweep import Sweep, sweep_page_size_and_threshold
+
+__all__ = [
+    "run_experiment",
+    "experiment_ids",
+    "ExperimentResult",
+    "make_config",
+    "run_app",
+    "scaled_qubits",
+    "render_table",
+    "render_markdown",
+    "render_plot",
+    "write_json",
+    "write_csv",
+    "load_json",
+    "diff_results",
+    "diff_files",
+    "render_diff",
+    "Sweep",
+    "sweep_page_size_and_threshold",
+]

@@ -1,0 +1,236 @@
+"""Ablation experiments on the design choices the paper highlights.
+
+These go beyond the paper's figures: each ablation flips one mechanism of
+the Grace Hopper memory system and measures how the headline behaviours
+move, quantifying *why* the measured results look the way they do — and
+addressing the paper's closing call for "a deep understanding of the
+access counter-based migration on diverse workloads".
+
+* ``abl_threshold`` — sweep the access-counter notification threshold on
+  SRAD (Section 2.2.1's only user-tunable knob);
+* ``abl_first_touch`` — GPU first-touch placement on the accessor vs a
+  conventional CPU-only fault handler;
+* ``abl_autonuma`` — the cost of leaving AutoNUMA balancing on (the
+  tuning guide disables it, Section 3);
+* ``abl_remote_efficiency`` — sensitivity of the Figure 3 class split to
+  the cacheline remote-access efficiency;
+* ``abl_migration_off`` — what SRAD loses when automatic migration is
+  disabled entirely.
+"""
+
+from __future__ import annotations
+
+from ..apps import get_application
+from ..core.porting import MemoryMode
+from ..core.runtime import GraceHopperSystem
+from ..sim.config import FirstTouchPolicy
+from .experiments import experiment
+from .harness import ExperimentResult, make_config, run_app
+
+
+@experiment("abl_threshold")
+def abl_threshold(
+    scale: float = 1.0,
+    thresholds: tuple[int, ...] = (32, 128, 256, 1024, 8192, 1 << 20),
+) -> ExperimentResult:
+    """Migration-threshold sweep on SRAD (iterative, migration-friendly)
+    and pathfinder (streaming, migration-hostile)."""
+    res = ExperimentResult(
+        "abl_threshold", "Access-counter threshold sweep (system memory)"
+    )
+    for name in ("srad", "pathfinder"):
+        for threshold in thresholds:
+            result, gh = run_app(
+                name,
+                MemoryMode.SYSTEM,
+                scale=scale,
+                page_size=65536,
+                migration=True,
+                config_overrides={"migration_threshold": threshold},
+            )
+            res.add(
+                app=name,
+                threshold=threshold,
+                compute_s=round(result.phases.compute, 4),
+                pages_migrated=gh.counters.total.pages_migrated_h2d,
+            )
+    res.notes.append(
+        "Low thresholds migrate eagerly (good for SRAD's reuse, bad for "
+        "pathfinder's single pass); a huge threshold disables migration "
+        "in practice. The default 256 favours iterative workloads."
+    )
+    return res
+
+
+@experiment("abl_first_touch")
+def abl_first_touch(scale: float = 1.0) -> ExperimentResult:
+    """GPU first-touch placement policy: accessor-local vs CPU-only."""
+    res = ExperimentResult(
+        "abl_first_touch", "First-touch placement policy (qiskit, system)"
+    )
+    from .harness import scaled_qubits
+
+    q = scaled_qubits(30, scale)
+    for policy in FirstTouchPolicy:
+        result, gh = run_app(
+            "qiskit",
+            MemoryMode.SYSTEM,
+            scale=scale,
+            page_size=65536,
+            migration=False,
+            config_overrides={"first_touch_policy": policy},
+            app_kwargs={"qubits": q},
+        )
+        res.add(
+            policy=policy.value,
+            init_s=round(result.sub_phases["initialization"], 3),
+            compute_s=round(result.sub_phases["computation"], 3),
+            c2c_read_gb=round(gh.counters.total.c2c_read_bytes / 1e9, 2),
+        )
+    res.notes.append(
+        "Accessor-local placement puts the GPU-initialised statevector in "
+        "HBM; a CPU-only fault handler would leave it CPU-resident and "
+        "push every gate sweep over NVLink-C2C."
+    )
+    return res
+
+
+@experiment("abl_autonuma")
+def abl_autonuma(scale: float = 1.0) -> ExperimentResult:
+    """Cost of AutoNUMA balancing (the testbed disables it, Section 3)."""
+    res = ExperimentResult(
+        "abl_autonuma", "AutoNUMA hinting-fault overhead (hotspot, system)"
+    )
+    for autonuma in (False, True):
+        result, _ = run_app(
+            "hotspot",
+            MemoryMode.SYSTEM,
+            scale=scale,
+            page_size=4096,
+            migration=False,
+            config_overrides={"autonuma_enable": autonuma},
+        )
+        res.add(
+            autonuma="on" if autonuma else "off",
+            cpu_init_s=round(result.phases.cpu_init, 4),
+            total_s=round(result.phases.total, 4),
+        )
+    res.notes.append(
+        "AutoNUMA's hinting faults tax every first-touch; the Grace "
+        "tuning guide disables it for GPU-heavy applications."
+    )
+    return res
+
+
+@experiment("abl_remote_efficiency")
+def abl_remote_efficiency(
+    scale: float = 1.0, efficiencies: tuple[float, ...] = (0.4, 0.6, 0.8, 0.95)
+) -> ExperimentResult:
+    """Sensitivity of the Figure 3 split to remote-access efficiency."""
+    res = ExperimentResult(
+        "abl_remote_efficiency",
+        "System-vs-managed split vs C2C remote-access efficiency",
+    )
+    for eff in efficiencies:
+        row = {"efficiency": eff}
+        for name in ("pathfinder", "srad"):
+            times = {}
+            for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+                result, _ = run_app(
+                    name,
+                    mode,
+                    scale=scale,
+                    page_size=65536,
+                    migration=False,
+                    config_overrides={"remote_access_efficiency": eff},
+                )
+                times[mode] = result.reported_total
+            row[f"{name}_sys_over_mng"] = round(
+                times[MemoryMode.MANAGED] / times[MemoryMode.SYSTEM], 2
+            )
+        res.add(**row)
+    res.notes.append(
+        "System memory's advantage for streaming apps grows with remote "
+        "efficiency; SRAD stays managed-favoured regardless because its "
+        "GPU-initialisation cost, not the link, dominates."
+    )
+    return res
+
+
+@experiment("abl_diverse_workloads")
+def abl_diverse_workloads(scale: float = 1.0) -> ExperimentResult:
+    """Access-counter migration across diverse access patterns.
+
+    The paper's closing future-work item. Runs the three synthetic
+    workloads (GUPS random access, triad streaming at 1 and 12 passes,
+    hot/cold skew) plus SRAD under system memory with migration on/off
+    and reports the benefit (or harm) of the mechanism per pattern.
+    """
+    res = ExperimentResult(
+        "abl_diverse_workloads",
+        "Access-counter migration benefit across access patterns",
+    )
+    workloads = [
+        ("gups", "random-sparse", {}),
+        ("triad", "stream-1pass", {"passes": 1}),
+        ("triad", "stream-12pass", {"passes": 12}),
+        ("hotcold", "skewed-90/10", {}),
+        ("srad", "iterative", {}),
+    ]
+    for name, label, kwargs in workloads:
+        t = {}
+        migrated = {}
+        for migration in (False, True):
+            result, gh = run_app(
+                name,
+                MemoryMode.SYSTEM,
+                scale=scale,
+                page_size=65536,
+                migration=migration,
+                app_kwargs=kwargs,
+            )
+            t[migration] = result.phases.compute
+            migrated[migration] = gh.counters.total.migration_h2d_bytes
+        res.add(
+            workload=label,
+            compute_off_s=round(t[False], 4),
+            compute_on_s=round(t[True], 4),
+            migration_benefit=round(t[False] / t[True], 2),
+            migrated_gb=round(migrated[True] / 1e9, 2),
+        )
+    res.notes.append(
+        "Benefit > 1 means automatic migration helped. Reuse decides: "
+        "iterative and skewed workloads profit (only hot pages move for "
+        "the skewed case); single-pass streams and sparse random access "
+        "see no benefit or pay migration stalls."
+    )
+    return res
+
+
+@experiment("abl_migration_off")
+def abl_migration_off(scale: float = 1.0) -> ExperimentResult:
+    """SRAD with and without access-counter migration (system memory)."""
+    res = ExperimentResult(
+        "abl_migration_off", "SRAD with/without automatic migration"
+    )
+    for enabled in (True, False):
+        result, gh = run_app(
+            "srad",
+            MemoryMode.SYSTEM,
+            scale=scale,
+            page_size=65536,
+            migration=enabled,
+        )
+        steady = result.iteration_times[5:]
+        res.add(
+            migration="on" if enabled else "off",
+            compute_s=round(result.phases.compute, 4),
+            steady_iter_ms=round(sum(steady) / len(steady) * 1e3, 2),
+            pages_migrated=gh.counters.total.pages_migrated_h2d,
+        )
+    res.notes.append(
+        "Without migration every iteration re-reads the CPU-resident "
+        "image over NVLink-C2C; with it the working set lands in HBM by "
+        "iteration ~5 (Figure 10)."
+    )
+    return res

@@ -1,0 +1,71 @@
+"""Export experiment results to machine-readable formats.
+
+The paper's figures are plots; this module writes the regenerated series
+as CSV (one file per experiment) or a single JSON document so they can be
+re-plotted with any tool, diffed across calibrations, or tracked in CI.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+
+from .harness import ExperimentResult
+
+
+def _jsonable(value):
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return None
+    return value
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "id": result.exp_id,
+        "title": result.title,
+        "columns": result.column_names(),
+        "rows": [
+            {k: _jsonable(v) for k, v in row.items()} for row in result.rows
+        ],
+        "notes": list(result.notes),
+    }
+
+
+def write_json(results: list[ExperimentResult], path: str | Path) -> Path:
+    """Write all results into one JSON document; returns the path."""
+    path = Path(path)
+    payload = {
+        "generator": "repro-bench",
+        "experiments": [result_to_dict(r) for r in results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False))
+    return path
+
+
+def write_csv(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write one experiment's rows as ``<id>.csv``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.exp_id}.csv"
+    cols = result.column_names()
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow({c: row.get(c, "") for c in cols})
+    return path
+
+
+def load_json(path: str | Path) -> list[ExperimentResult]:
+    """Round-trip loader (used by tests and result-diffing tools)."""
+    payload = json.loads(Path(path).read_text())
+    out = []
+    for entry in payload["experiments"]:
+        res = ExperimentResult(
+            entry["id"], entry["title"], rows=entry["rows"],
+            notes=entry["notes"], columns=entry["columns"],
+        )
+        out.append(res)
+    return out

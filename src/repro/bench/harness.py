@@ -1,0 +1,113 @@
+"""Experiment harness: shared machinery for the table/figure experiments.
+
+Every experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult` — an id (``table1`` ... ``fig13``), a title, a
+list of row dicts (the same rows/series the paper's table or figure
+reports), and free-form notes recording calibration caveats. The
+benchmark files under ``benchmarks/`` wrap these one-to-one, and
+``EXPERIMENTS.md`` is generated from the same rows.
+
+Experiments accept a ``scale`` parameter that shrinks the *problem* and
+the *machine* together (capacities scale with workloads), preserving the
+oversubscription ratios and page-count ratios every conclusion rests on;
+``scale=1.0`` is the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..apps import get_application
+from ..core.porting import MemoryMode
+from ..core.runtime import GraceHopperSystem
+from ..sim.config import SystemConfig
+
+
+@dataclass
+class ExperimentResult:
+    """Rows/series of one regenerated table or figure, plus shape notes."""
+    exp_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: column order for rendering; defaults to first row's keys
+    columns: list[str] | None = None
+
+    def add(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def column_names(self) -> list[str]:
+        if self.columns:
+            return self.columns
+        if self.rows:
+            return list(self.rows[0].keys())
+        return []
+
+    def series(self, key: str) -> list[Any]:
+        return [row[key] for row in self.rows]
+
+
+def make_config(
+    scale: float = 1.0,
+    *,
+    page_size: int = 64 * 1024,
+    migration: bool = True,
+    **overrides,
+) -> SystemConfig:
+    """The paper's testbed (optionally capacity-scaled)."""
+    if scale == 1.0:
+        return SystemConfig.paper_gh200(
+            page_size=page_size, migration_enable=migration, **overrides
+        )
+    return SystemConfig.scaled(
+        scale, page_size=page_size, migration_enable=migration, **overrides
+    )
+
+
+def scaled_qubits(qubits: int, scale: float) -> int:
+    """Scale a qubit count: halving ``scale`` removes one qubit, keeping
+    statevector-to-GPU-memory ratios intact."""
+    if scale == 1.0:
+        return qubits
+    return max(4, qubits + int(round(math.log2(scale))))
+
+
+def run_app(
+    name: str,
+    mode: MemoryMode,
+    *,
+    scale: float = 1.0,
+    page_size: int = 64 * 1024,
+    migration: bool = True,
+    oversubscription: float | None = None,
+    profile: bool = False,
+    config_overrides: dict | None = None,
+    app_kwargs: dict | None = None,
+    prepare: Callable[[GraceHopperSystem], None] | None = None,
+):
+    """Build a fresh system, optionally install an oversubscription
+    balloon (Section 3.2's simulated-oversubscription setup), run one
+    application version, and return ``(result, system)``."""
+    cfg = make_config(
+        scale, page_size=page_size, migration=migration, **(config_overrides or {})
+    )
+    gh = GraceHopperSystem(cfg)
+    app = get_application(name, scale=scale, **(app_kwargs or {}))
+    if oversubscription is not None:
+        if oversubscription <= 0:
+            raise ValueError("oversubscription ratio must be positive")
+        target_free = int(app.working_set_bytes() / oversubscription)
+        balloon = max(0, gh.free_gpu_memory() - target_free)
+        if balloon:
+            gh.install_balloon(balloon)
+    if prepare is not None:
+        prepare(gh)
+    result = app.run(gh, mode, profile=profile)
+    return result, gh
+
+
+def speedup(baseline: float, other: float) -> float:
+    """``baseline / other`` with divide-by-zero safety."""
+    return baseline / other if other > 0 else float("inf")

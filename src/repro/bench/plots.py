@@ -1,0 +1,120 @@
+"""Terminal rendering of experiment series: bars and sparklines.
+
+The paper's figures are bar/line plots; ``repro-bench --plot`` renders
+terminal equivalents so the shape (who wins, where the crossover is) is
+visible without a plotting stack. Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentResult
+
+BAR = "█"
+HALF = "▌"
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+def hbar(value: float, peak: float, width: int = 36) -> str:
+    """A horizontal bar scaled to ``peak``."""
+    if peak <= 0 or value <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    return BAR * full + (HALF if cells - full >= 0.5 else "")
+
+def sparkline(series: list[float]) -> str:
+    """One-line trend of a numeric series."""
+    vals = [v for v in series if isinstance(v, (int, float)) and v == v]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    out = []
+    for v in series:
+        if not isinstance(v, (int, float)) or v != v:
+            out.append(" ")
+            continue
+        idx = 0 if span == 0 else int((v - lo) / span * (len(SPARK) - 1))
+        out.append(SPARK[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    result: ExperimentResult,
+    label_key: str,
+    value_keys: list[str],
+    width: int = 36,
+) -> str:
+    """Grouped horizontal bars, one group per row, one bar per value key."""
+    rows = result.rows
+    if not rows:
+        return "(no rows)"
+    peak = max(
+        float(r[k])
+        for r in rows
+        for k in value_keys
+        if isinstance(r.get(k), (int, float)) and r[k] == r[k]
+    )
+    label_w = max(len(str(r[label_key])) for r in rows)
+    key_w = max(len(k) for k in value_keys)
+    lines = []
+    for r in rows:
+        for i, k in enumerate(value_keys):
+            label = str(r[label_key]) if i == 0 else ""
+            v = r.get(k)
+            if not isinstance(v, (int, float)) or v != v:
+                continue
+            lines.append(
+                f"{label:<{label_w}}  {k:<{key_w}} "
+                f"|{hbar(float(v), peak, width):<{width}}| {v:g}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+#: Per-experiment default plot spec: (label column, value columns).
+PLOT_SPECS: dict[str, tuple[str, list[str]]] = {
+    "fig3": ("app", ["system_speedup", "managed_speedup"]),
+    "fig6": ("app", ["alloc_dealloc_4k_s", "alloc_dealloc_64k_s"]),
+    "fig7": ("app", ["compute_4k_s", "compute_64k_s"]),
+    "fig8": ("qubits", ["system_speedup_64k", "managed_speedup_64k"]),
+    "fig9": ("version", ["init_s", "compute_s"]),
+    "fig12": ("variant", ["l1l2_gb_s", "gpu_mem_gb_s", "c2c_gb_s"]),
+    "fig13": ("case", ["init_s", "compute_s"]),
+    "sec512": ("variant", ["registration_s", "compute_s"]),
+}
+
+
+def render_plot(result: ExperimentResult) -> str | None:
+    """The default terminal plot for an experiment, if one is defined."""
+    spec = PLOT_SPECS.get(result.exp_id)
+    if spec is None:
+        # Time-series experiments render per-version sparklines instead.
+        if result.exp_id == "fig10":
+            lines = []
+            for version in ("system", "managed"):
+                series = [
+                    r["time_ms"] for r in result.rows if r["version"] == version
+                ]
+                lines.append(f"{version:8s} iter time {sparkline(series)}")
+                c2c = [
+                    r["c2c_read_gb"] for r in result.rows
+                    if r["version"] == version
+                ]
+                lines.append(f"{'':8s} c2c reads {sparkline(c2c)}")
+            return "\n".join(lines)
+        if result.exp_id in ("fig4", "fig5"):
+            lines = []
+            versions = sorted({r["version"] for r in result.rows})
+            for version in versions:
+                rows = [r for r in result.rows if r["version"] == version]
+                lines.append(
+                    f"{version:14s} rss {sparkline([r['rss_gb'] for r in rows])}"
+                )
+                lines.append(
+                    f"{'':14s} gpu {sparkline([r['gpu_used_gb'] for r in rows])}"
+                )
+            return "\n".join(lines)
+        return None
+    label_key, value_keys = spec
+    return bar_chart(result, label_key, value_keys)

@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results.
+
+Prints the same rows/series the paper's tables and figures report, in
+aligned ASCII tables, plus the qualitative-shape notes. Used by the
+``repro-bench`` CLI and by the benchmark files' console output.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentResult
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    cols = result.column_names()
+    if not cols:
+        return f"== {result.exp_id}: {result.title} ==\n(no rows)\n"
+    rows = [[format_cell(r.get(c, "")) for c in cols] for r in result.rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rows)) if rows else len(c)
+        for i, c in enumerate(cols)
+    ]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown(result: ExperimentResult) -> str:
+    cols = result.column_names()
+    if not cols:
+        return f"### {result.exp_id}: {result.title}\n\n(no rows)\n"
+    lines = [f"### {result.exp_id}: {result.title}", ""]
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for r in result.rows:
+        lines.append(
+            "| " + " | ".join(format_cell(r.get(c, "")) for c in cols) + " |"
+        )
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,112 @@
+"""Configuration sweeps: sensitivity grids over `SystemConfig` fields.
+
+The calibration knobs of the model (and the tuning knobs of a real
+GH200 — page size, migration threshold) invite sensitivity studies. A
+:class:`Sweep` runs one workload over a cartesian grid of config
+overrides and collects any metric extracted from the run, producing an
+:class:`~repro.bench.harness.ExperimentResult` that renders/exports like
+the paper experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.porting import MemoryMode
+from .harness import ExperimentResult, run_app
+
+#: metric name -> function of (AppResult, GraceHopperSystem)
+MetricFn = Callable[[Any, Any], float]
+
+BUILTIN_METRICS: dict[str, MetricFn] = {
+    "reported_total_s": lambda res, gh: res.reported_total,
+    "compute_s": lambda res, gh: res.phases.compute,
+    "dealloc_s": lambda res, gh: res.phases.deallocation,
+    "c2c_read_gb": lambda res, gh: gh.counters.total.c2c_read_bytes / 1e9,
+    "migrated_gb": lambda res, gh: gh.counters.total.migration_h2d_bytes / 1e9,
+    "evicted_gb": lambda res, gh: gh.counters.total.eviction_bytes / 1e9,
+    "gpu_faults": lambda res, gh: float(
+        gh.counters.total.gpu_replayable_faults
+    ),
+}
+
+
+@dataclass
+class Sweep:
+    """A cartesian sweep specification."""
+
+    app: str
+    mode: MemoryMode
+    #: config-field name -> list of values (cartesian product across keys).
+    grid: dict[str, list] = field(default_factory=dict)
+    metrics: list[str] = field(default_factory=lambda: ["compute_s"])
+    scale: float = 1.0
+    app_kwargs: dict = field(default_factory=dict)
+    oversubscription: float | None = None
+
+    def __post_init__(self):
+        if not self.grid:
+            raise ValueError("sweep grid must name at least one config field")
+        unknown = [m for m in self.metrics if m not in BUILTIN_METRICS]
+        if unknown:
+            raise ValueError(
+                f"unknown metrics {unknown}; known: {sorted(BUILTIN_METRICS)}"
+            )
+
+    def points(self) -> list[dict]:
+        keys = list(self.grid)
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.grid[k] for k in keys))
+        ]
+
+    def run(self) -> ExperimentResult:
+        result = ExperimentResult(
+            f"sweep-{self.app}",
+            f"{self.app}/{self.mode.value} over {', '.join(self.grid)}",
+        )
+        for point in self.points():
+            overrides = dict(point)
+            page_size = overrides.pop("system_page_size", 64 * 1024)
+            migration = overrides.pop("migration_enable", True)
+            app_result, gh = run_app(
+                self.app,
+                self.mode,
+                scale=self.scale,
+                page_size=page_size,
+                migration=migration,
+                oversubscription=self.oversubscription,
+                config_overrides=overrides,
+                app_kwargs=self.app_kwargs,
+            )
+            row = dict(point)
+            for metric in self.metrics:
+                row[metric] = round(
+                    BUILTIN_METRICS[metric](app_result, gh), 6
+                )
+            result.add(**row)
+        return result
+
+
+def sweep_page_size_and_threshold(
+    app: str,
+    mode: MemoryMode = MemoryMode.SYSTEM,
+    *,
+    scale: float = 1.0,
+    thresholds: tuple[int, ...] = (64, 256, 1024),
+    **kwargs,
+) -> ExperimentResult:
+    """The two user-tunable knobs of the paper, as one grid."""
+    return Sweep(
+        app=app,
+        mode=mode,
+        grid={
+            "system_page_size": [4096, 65536],
+            "migration_threshold": list(thresholds),
+        },
+        metrics=["compute_s", "migrated_gb", "c2c_read_gb"],
+        scale=scale,
+        **kwargs,
+    ).run()

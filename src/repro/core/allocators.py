@@ -1,0 +1,52 @@
+"""Allocation API registry (the paper's Table 1).
+
+The concrete allocation entry points live on
+:class:`~repro.core.runtime.GraceHopperSystem`; this module provides the
+metadata view of them — which physical locations each interface can map,
+which page table initialises the PTEs, coherence, and migration
+granularity — used to regenerate Table 1 and by the porting helper to
+pick the right allocator per memory mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem.pagetable import MEMORY_TYPE_TABLE, AllocKind
+from ..sim.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class AllocatorInfo:
+    kind: AllocKind
+    location: str
+    interface: str
+    pte_init: str
+    cache_coherent: bool
+    migration: str
+
+
+def allocator_table() -> list[AllocatorInfo]:
+    """The rows of Table 1."""
+    return [AllocatorInfo(**row) for row in MEMORY_TYPE_TABLE]
+
+
+def allocator_for(kind: AllocKind) -> AllocatorInfo:
+    for info in allocator_table():
+        if info.kind is kind:
+            return info
+    raise KeyError(kind)
+
+
+def migration_granularity_bytes(kind: AllocKind, config: SystemConfig) -> int:
+    """Smallest unit transparently moved between the memories.
+
+    System memory moves data at cacheline grain for remote access and at
+    the system page size for migrations; managed memory migrates 2 MB GPU
+    pages; explicit memory only moves what ``cudaMemcpy`` is told to.
+    """
+    if kind is AllocKind.SYSTEM:
+        return config.system_page_size
+    if kind is AllocKind.MANAGED:
+        return config.gpu_page_size
+    return 1

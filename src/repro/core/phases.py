@@ -1,0 +1,94 @@
+"""Application phase timing, following the paper's protocol (Figure 2).
+
+The paper instruments every application version with the same phase
+boundaries — GPU context initialisation and argument parsing, allocation,
+CPU-side buffer initialisation, computation, de-allocation — measured
+with ``gettimeofday`` (t0..t3). CPU-side initialisation is single-threaded
+and I/O-bound in Rodinia, so absolute timings are reported *excluding*
+that phase (Section 3.1); :attr:`PhaseBreakdown.reported_total` implements
+the same exclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..sim.engine import SimClock, Stopwatch
+
+
+class Phase(Enum):
+    CONTEXT = "context"
+    ALLOCATION = "allocation"
+    CPU_INIT = "cpu_init"
+    COMPUTE = "compute"
+    DEALLOCATION = "deallocation"
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase durations of one application run (simulated seconds)."""
+
+    durations: dict[Phase, float] = field(default_factory=dict)
+
+    def __getitem__(self, phase: Phase) -> float:
+        return self.durations.get(phase, 0.0)
+
+    @property
+    def allocation(self) -> float:
+        return self[Phase.ALLOCATION]
+
+    @property
+    def cpu_init(self) -> float:
+        return self[Phase.CPU_INIT]
+
+    @property
+    def compute(self) -> float:
+        return self[Phase.COMPUTE]
+
+    @property
+    def deallocation(self) -> float:
+        return self[Phase.DEALLOCATION]
+
+    @property
+    def total(self) -> float:
+        return sum(self.durations.values())
+
+    @property
+    def reported_total(self) -> float:
+        """End-to-end time excluding CPU-side initialisation (I/O-bound,
+        identical across versions — Section 3.1) and the GPU-context/
+        argument-parsing phase; the quantity the paper reports for
+        cross-version comparison."""
+        return self.total - self[Phase.CPU_INIT] - self[Phase.CONTEXT]
+
+    def as_dict(self) -> dict[str, float]:
+        return {p.value: self.durations.get(p, 0.0) for p in Phase}
+
+
+class PhaseTimer:
+    """Accumulates simulated time into named phases."""
+
+    def __init__(self, clock: SimClock):
+        self._clock = clock
+        self.breakdown = PhaseBreakdown()
+
+    def measure(self, phase: Phase):
+        """Context manager charging the enclosed simulated time to
+        ``phase``. Re-entrant across the run: durations accumulate."""
+        timer = self
+
+        class _Span:
+            def __enter__(self_span):
+                self_span._watch = Stopwatch(timer._clock)
+                self_span._watch.__enter__()
+                return self_span
+
+            def __exit__(self_span, *exc):
+                self_span._watch.__exit__(*exc)
+                timer.breakdown.durations[phase] = (
+                    timer.breakdown.durations.get(phase, 0.0)
+                    + self_span._watch.elapsed
+                )
+
+        return _Span()

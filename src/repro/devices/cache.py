@@ -1,0 +1,55 @@
+"""GPU cache-hierarchy traffic model.
+
+The paper uses L1<->L2 traffic as "an indication of the data rate being
+fed to the GPU for computation" (Figure 12): when remote C2C traffic
+throttles a kernel, L1<->L2 throughput collapses with it; after the
+prefetch optimisation most traffic is fed from GPU memory and L1<->L2
+throughput recovers. We model the hierarchy as traffic meters — every
+byte a kernel consumes crosses L1<->L2 regardless of which tier supplied
+it, plus a reuse multiplier for cache-resident working sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import SystemConfig
+
+
+@dataclass
+class CacheStats:
+    l1l2_bytes: int = 0
+    l2_hbm_bytes: int = 0
+    l2_c2c_bytes: int = 0
+
+
+class GpuCacheModel:
+    """L1<->L2 traffic meter with a bandwidth ceiling (Figure 12's lens)."""
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.stats = CacheStats()
+
+    def feed(
+        self,
+        consumed_bytes: int,
+        *,
+        from_hbm: int,
+        from_c2c: int,
+        reuse: float = 1.0,
+    ) -> int:
+        """Record a kernel consuming ``consumed_bytes`` of operands.
+
+        ``reuse`` >= 1 inflates L1<->L2 traffic for kernels that re-read
+        cached operands (stencils). Returns the L1<->L2 bytes recorded.
+        """
+        if consumed_bytes < 0:
+            raise ValueError("consumed_bytes must be non-negative")
+        l1l2 = int(consumed_bytes * max(reuse, 1.0))
+        self.stats.l1l2_bytes += l1l2
+        self.stats.l2_hbm_bytes += from_hbm
+        self.stats.l2_c2c_bytes += from_c2c
+        return l1l2
+
+    def l1l2_time_floor(self, l1l2_bytes: int) -> float:
+        """Minimum kernel time imposed by the L1<->L2 bandwidth ceiling."""
+        return l1l2_bytes / self.config.l1l2_bandwidth

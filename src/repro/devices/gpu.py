@@ -1,0 +1,76 @@
+"""The Hopper GPU device model.
+
+Kernels in this simulator are bandwidth/latency driven: a launch presents
+its operand traffic (split by supplying tier by the memory subsystem) and
+a floating-point workload, and the device computes the kernel duration as
+the maximum of the compute-limited and transfer-limited times, plus
+serialised fault-handling overhead. This is the level of abstraction at
+which the paper reasons about its kernels ("a series of matrix
+multiplications that benefit from a high memory throughput").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import SystemConfig
+from .cache import GpuCacheModel
+
+
+@dataclass
+class GpuStats:
+    kernels_launched: int = 0
+    busy_seconds: float = 0.0
+    flops_executed: float = 0.0
+
+
+class GpuDevice:
+    """Kernel-duration and cache-traffic model of the H100 GPU."""
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.cache = GpuCacheModel(config)
+        self.stats = GpuStats()
+        self.context_initialized = False
+
+    def context_init_time(self) -> float:
+        """One-time CUDA context creation (Section 4: in the system-memory
+        version this lands inside the first kernel launch)."""
+        if self.context_initialized:
+            return 0.0
+        self.context_initialized = True
+        return self.config.context_init_cost
+
+    def kernel_time(
+        self,
+        *,
+        flops: float = 0.0,
+        hbm_bytes: int = 0,
+        remote_bytes_time: float = 0.0,
+        fault_time: float = 0.0,
+        stall_time: float = 0.0,
+        atomics: int = 0,
+        l1l2_bytes: int = 0,
+    ) -> float:
+        """Duration of one kernel launch.
+
+        HBM traffic and compute overlap (``max``); remote C2C access time,
+        fault servicing, and migration stalls serialise with them (they
+        block the accessing warps).
+        """
+        compute = flops / self.config.gpu_flops if flops else 0.0
+        hbm = hbm_bytes / self.config.hbm_bandwidth
+        l1l2_floor = self.cache.l1l2_time_floor(l1l2_bytes)
+        pipelined = max(compute, hbm, l1l2_floor)
+        atomic = atomics * self.config.gpu_atomic_cost
+        t = (
+            self.config.kernel_launch_cost
+            + pipelined
+            + remote_bytes_time
+            + fault_time
+            + stall_time
+            + atomic
+        )
+        self.stats.kernels_launched += 1
+        self.stats.busy_seconds += t
+        self.stats.flops_executed += flops
+        return t

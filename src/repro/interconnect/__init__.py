@@ -1,0 +1,6 @@
+"""NVLink-C2C interconnect and explicit-copy DMA engine."""
+
+from .copyengine import CopyEngine
+from .nvlink import NvlinkC2C
+
+__all__ = ["NvlinkC2C", "CopyEngine"]

@@ -1,0 +1,107 @@
+"""The NVLink-C2C chip-to-chip interconnect.
+
+Carries three traffic classes the paper distinguishes:
+
+* **direct remote accesses** at cacheline granularity (system memory's
+  ATS path, and managed memory's remote mapping under oversubscription);
+* **page migrations** (driver-initiated, both directions);
+* **explicit DMA copies** (``cudaMemcpy`` and the copy engines).
+
+Bandwidth is asymmetric — the paper measures 375 GB/s host-to-device and
+297 GB/s device-to-host against a 450 GB/s theoretical figure — and
+fine-grained traffic runs below the streaming rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import Processor, SystemConfig
+
+
+@dataclass
+class LinkStats:
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    h2d_seconds: float = 0.0
+    d2h_seconds: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.h2d_bytes + self.d2h_bytes
+
+
+class NvlinkC2C:
+    """Directional bandwidth/latency model of NVLink-C2C."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.stats = LinkStats()
+
+    def _account(self, nbytes: int, src: Processor, seconds: float) -> None:
+        if src is Processor.CPU:
+            self.stats.h2d_bytes += nbytes
+            self.stats.h2d_seconds += seconds
+        else:
+            self.stats.d2h_bytes += nbytes
+            self.stats.d2h_seconds += seconds
+
+    def streaming_time(self, nbytes: int, src: Processor, dst: Processor) -> float:
+        """Time for a streaming (DMA/migration) transfer of ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        bw = self.config.c2c_bandwidth(src, dst)
+        t = nbytes / bw + self.config.c2c_latency
+        self._account(nbytes, src, t)
+        return t
+
+    def remote_access_time(
+        self,
+        nbytes: int,
+        accessor: Processor,
+        *,
+        efficiency: float | None = None,
+    ) -> float:
+        """Time for cacheline-granularity remote access of ``nbytes``.
+
+        The *accessor* pulls (reads) or pushes (writes) across the link;
+        direction for bandwidth purposes is data movement toward the
+        accessor for reads. We charge the link in the direction data
+        flows to the accessor, which for a GPU reading CPU memory is H2D.
+        """
+        if nbytes <= 0:
+            return 0.0
+        eff = self.config.remote_access_efficiency if efficiency is None else efficiency
+        src = accessor.other
+        bw = self.config.c2c_bandwidth(src, accessor) * eff
+        t = nbytes / bw + self.config.c2c_latency
+        self._account(nbytes, src, t)
+        return t
+
+    def migration_time(self, nbytes: int, src: Processor, dst: Processor) -> float:
+        """Background-migration transfer time (driver rate-limited)."""
+        if nbytes <= 0:
+            return 0.0
+        bw = (
+            self.config.c2c_bandwidth(src, dst)
+            * self.config.migration_bandwidth_fraction
+        )
+        t = nbytes / bw + self.config.c2c_latency
+        self._account(nbytes, src, t)
+        return t
+
+    def achieved_bandwidth(self, direction: str) -> float:
+        """Observed bandwidth so far for ``"h2d"`` or ``"d2h"`` traffic."""
+        if direction == "h2d":
+            return (
+                self.stats.h2d_bytes / self.stats.h2d_seconds
+                if self.stats.h2d_seconds
+                else 0.0
+            )
+        if direction == "d2h":
+            return (
+                self.stats.d2h_bytes / self.stats.d2h_seconds
+                if self.stats.d2h_seconds
+                else 0.0
+            )
+        raise ValueError("direction must be 'h2d' or 'd2h'")

@@ -1,0 +1,44 @@
+"""Memory substrate: page tables, faults, migration, managed memory."""
+
+from .coherence import AccessShape, CoherenceFabric, wire_bytes
+from .faults import FaultHandler
+from .managed import ManagedMemoryManager
+from .migration import AccessCounterMigrator
+from .numa import NumaAllocator, NumaNode, NumaPolicy, NumaTopology
+from .pagetable import (
+    MEMORY_TYPE_TABLE,
+    AccessCounters,
+    Allocation,
+    AllocKind,
+    GpuPageTable,
+    SystemPageTable,
+)
+from .pageset import PageSet, pages_of_byte_range
+from .physical import MemoryPool, OutOfMemoryError, PhysicalMemory
+from .subsystem import AccessResult, MemorySubsystem
+
+__all__ = [
+    "AccessShape",
+    "CoherenceFabric",
+    "wire_bytes",
+    "FaultHandler",
+    "ManagedMemoryManager",
+    "AccessCounterMigrator",
+    "NumaAllocator",
+    "NumaNode",
+    "NumaPolicy",
+    "NumaTopology",
+    "MEMORY_TYPE_TABLE",
+    "AccessCounters",
+    "Allocation",
+    "AllocKind",
+    "GpuPageTable",
+    "SystemPageTable",
+    "PageSet",
+    "pages_of_byte_range",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "PhysicalMemory",
+    "AccessResult",
+    "MemorySubsystem",
+]

@@ -1,0 +1,47 @@
+"""The GPU Memory Management Unit (GMMU).
+
+The GMMU walks the GPU-exclusive page table (2 MB pages). For managed
+memory it produces **far-faults** when the GPU touches a page that is not
+GPU-resident; the CUDA driver services these on the CPU, migrating data
+at 2 MB effective granularity (Section 2.3.1). Far-fault handling is the
+overhead that the cacheline-grain ATS path of system memory avoids, which
+is the root of the Figure 3 class split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import SystemConfig
+
+
+@dataclass
+class GmmuStats:
+    far_faults: int = 0
+    pte_creates: int = 0
+
+
+class Gmmu:
+    """Far-fault and GPU-PTE cost model of the GPU MMU."""
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.stats = GmmuStats()
+
+    def far_fault(self, n_fault_groups: int) -> float:
+        """Service ``n_fault_groups`` managed-memory far-fault batches.
+
+        The driver coalesces faults per 2 MB VA block; each batch costs a
+        fault delivery, driver scheduling, and replay.
+        """
+        if n_fault_groups <= 0:
+            return 0.0
+        self.stats.far_faults += n_fault_groups
+        return n_fault_groups * self.config.managed_farfault_cost
+
+    def create_ptes(self, n_gpu_pages: int) -> float:
+        """Create 2 MB GPU PTEs (GPU first-touch of managed memory, or
+        cudaMalloc mapping). Driver-side, no OS round trip."""
+        if n_gpu_pages <= 0:
+            return 0.0
+        self.stats.pte_creates += n_gpu_pages
+        return n_gpu_pages * self.config.gpu_pte_create_cost

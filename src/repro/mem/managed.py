@@ -1,0 +1,480 @@
+"""CUDA managed memory: on-demand migration, eviction, remote pinning.
+
+Section 2.3: ``cudaMallocManaged`` provides a single VA range backed by
+*two* page tables. GPU-resident parts live in the GPU-exclusive table at
+2 MB granularity; CPU-resident parts live in the system page table at the
+system page size. The behaviours modelled here, each anchored to a paper
+observation:
+
+* **GPU first-touch** maps pages directly into GPU memory through the GPU
+  page table — cheap, no OS round trip — which is why managed memory wins
+  for GPU-initialised applications (Section 5.1.2). When GPU memory is
+  full, first-touch *evicts* least-recently-used managed blocks (the
+  init-phase eviction observed for the 34-qubit run in Section 7).
+* **GPU access to CPU-resident pages** raises GMMU far-faults; the driver
+  migrates data at the tree-prefetcher's effective granularity, evicting
+  LRU blocks when necessary. Larger system pages amplify evict/
+  migrate-back traffic (Figure 13's 3x slower 64 KB compute at 30 qubits).
+* **Natural oversubscription** (one allocation larger than GPU memory):
+  after the initial fill-and-evict, the driver stops migrating and leaves
+  CPU-resident pages *remote-mapped*, accessed over NVLink-C2C at a low
+  effective bandwidth (Figure 12) until an explicit prefetch moves them.
+* **CPU access to GPU-resident pages** migrates the touched blocks back
+  ("a similar page retrieval process", Section 2.3.1) — the page
+  thrashing hazard Section 6 contrasts with system memory's remote reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..interconnect.nvlink import NvlinkC2C
+from ..profiling.counters import HardwareCounters
+from ..sim.config import Location, Processor, SystemConfig
+from .coherence import AccessShape, CoherenceFabric
+from .gmmu import Gmmu
+from .pagetable import Allocation, AllocKind
+from .pageset import PageSet
+from .physical import PhysicalMemory
+from .prefetch import TreePrefetcher
+from .tlb import TlbHierarchy
+
+
+@dataclass
+class ManagedOutcome:
+    """Cost components of one managed-memory access batch."""
+
+    fault_seconds: float = 0.0
+    transfer_seconds: float = 0.0  # on-demand migration on the critical path
+    remote_seconds: float = 0.0  # remote-mapped access time
+    hbm_bytes: int = 0
+    lpddr_bytes: int = 0
+    remote_bytes: int = 0
+    evicted_bytes: int = 0
+    migrated_bytes: int = 0
+
+    def merge(self, other: "ManagedOutcome") -> None:
+        self.fault_seconds += other.fault_seconds
+        self.transfer_seconds += other.transfer_seconds
+        self.remote_seconds += other.remote_seconds
+        self.hbm_bytes += other.hbm_bytes
+        self.lpddr_bytes += other.lpddr_bytes
+        self.remote_bytes += other.remote_bytes
+        self.evicted_bytes += other.evicted_bytes
+        self.migrated_bytes += other.migrated_bytes
+
+
+class ManagedMemoryManager:
+    """Driver logic for all ``cudaMallocManaged`` allocations."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        physical: PhysicalMemory,
+        link: NvlinkC2C,
+        gmmu: Gmmu,
+        tlbs: TlbHierarchy,
+        fabric: CoherenceFabric,
+        counters: HardwareCounters,
+    ):
+        self.config = config
+        self.physical = physical
+        self.link = link
+        self.gmmu = gmmu
+        self.tlbs = tlbs
+        self.fabric = fabric
+        self.counters = counters
+        self.prefetcher = TreePrefetcher(config)
+        #: All live managed allocations, for cross-allocation LRU eviction.
+        self.allocations: dict[int, Allocation] = {}
+
+    def register(self, alloc: Allocation) -> None:
+        assert alloc.kind is AllocKind.MANAGED
+        self.allocations[alloc.aid] = alloc
+
+    def unregister(self, alloc: Allocation) -> None:
+        self.allocations.pop(alloc.aid, None)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _tag(self, alloc: Allocation) -> str:
+        return f"mng:{alloc.aid}"
+
+    def _page_bytes(self, n_pages: int) -> int:
+        return n_pages * self.config.system_page_size
+
+    def _naturally_oversubscribed(self, alloc: Allocation) -> bool:
+        return alloc.nbytes > self.physical.gpu.capacity - (
+            self.config.gpu_driver_baseline_bytes
+        )
+
+    def _headroom(self) -> int:
+        return self.config.managed_eviction_headroom_bytes
+
+    # -- eviction ---------------------------------------------------------------
+
+    def evict_bytes(self, needed: int, now: float) -> tuple[int, float]:
+        """Evict LRU managed blocks until ``needed`` bytes are free.
+
+        Returns ``(bytes_evicted, seconds)``. Eviction writes dirty blocks
+        back over the D2H direction at a reduced streaming rate.
+        """
+        freed = 0
+        seconds = 0.0
+        if needed <= self.physical.gpu.free:
+            return 0, 0.0
+        target = needed - self.physical.gpu.free
+        # Gather (allocation, block) candidates ordered by last touch.
+        candidates: list[tuple[float, Allocation, int]] = []
+        for alloc in self.allocations.values():
+            for block in alloc.lru_gpu_blocks():
+                candidates.append(
+                    (float(alloc.block_last_touch[block]), alloc, int(block))
+                )
+        candidates.sort(key=lambda c: c[0])
+        for _, alloc, block in candidates:
+            if freed >= target:
+                break
+            pages = alloc.block_pageset(np.asarray([block], dtype=np.int64))
+            gpu_pages = alloc.subset(pages, Location.GPU)
+            if not gpu_pages:
+                continue
+            nbytes = self._page_bytes(gpu_pages.count)
+            alloc.set_location(gpu_pages, Location.CPU)
+            self.physical.gpu.release(nbytes, tag=self._tag(alloc))
+            self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
+            t = self.link.streaming_time(nbytes, Processor.GPU, Processor.CPU)
+            seconds += t / self.config.eviction_bandwidth_fraction
+            seconds += self.tlbs.gpu.shootdown(gpu_pages.count)
+            freed += nbytes
+            alloc.stats.pages_evicted += gpu_pages.count
+            self.counters.total.add(
+                eviction_bytes=nbytes,
+                migration_d2h_bytes=nbytes,
+                pages_evicted=gpu_pages.count,
+                pages_migrated_d2h=gpu_pages.count,
+                tlb_shootdowns=1,
+            )
+        return freed, seconds
+
+    # -- GPU access path -----------------------------------------------------------
+
+    def gpu_access(
+        self,
+        alloc: Allocation,
+        pages: PageSet,
+        shape: AccessShape,
+        *,
+        write: bool,
+        now: float,
+    ) -> ManagedOutcome:
+        out = ManagedOutcome()
+        counts = alloc.split_counts(pages)
+        alloc.touch_blocks(pages, now)
+
+        # 1. Already GPU-resident: local HBM traffic.
+        n_gpu = int(counts[Location.GPU])
+        if n_gpu:
+            out.hbm_bytes += shape.useful_bytes * n_gpu
+
+        # 2. First touch (unmapped): map directly on the GPU, evicting LRU
+        #    blocks if needed; spill CPU-side when nothing is evictable.
+        n_unmapped = int(counts[Location.UNMAPPED])
+        if n_unmapped:
+            self._gpu_first_touch(
+                alloc, alloc.subset(pages, Location.UNMAPPED), shape, out, now
+            )
+
+        # 3. CPU-resident: on-demand migration — unless the allocation is
+        #    remote-pinned by the oversubscription heuristic.
+        n_cpu = int(counts[Location.CPU])
+        if n_cpu:
+            cpu_pages = alloc.subset(pages, Location.CPU)
+            if alloc.oversubscription_pinned:
+                self._remote_access(alloc, cpu_pages, shape, out, write)
+            else:
+                self._on_demand_migrate(alloc, cpu_pages, shape, out, now)
+
+        # 4. Remote-pinned pages are always accessed over NVLink-C2C.
+        n_pinned = int(counts[Location.CPU_PINNED])
+        if n_pinned:
+            self._remote_access(
+                alloc, alloc.subset(pages, Location.CPU_PINNED), shape, out, write
+            )
+
+        self._account(out, write)
+        return out
+
+    def _gpu_first_touch(
+        self,
+        alloc: Allocation,
+        pages: PageSet,
+        shape: AccessShape,
+        out: ManagedOutcome,
+        now: float,
+    ) -> None:
+        pages = alloc.subset(pages.align_down(alloc.block_pages).clip(alloc.n_pages),
+                             Location.UNMAPPED)
+        nbytes = self._page_bytes(pages.count)
+        if nbytes == 0:
+            return
+        _, evict_t = self.evict_bytes(nbytes + self._headroom(), now)
+        out.fault_seconds += evict_t
+        fit_pages = max(self.physical.gpu.free - self._headroom(), 0) // (
+            self.config.system_page_size
+        )
+        gpu_part = pages.take_first(fit_pages)
+        cpu_part = pages.difference(gpu_part)
+        if gpu_part:
+            got = self._page_bytes(gpu_part.count)
+            alloc.set_location(gpu_part, Location.GPU)
+            self.physical.gpu.reserve(got, tag=self._tag(alloc))
+            n_blocks = len(gpu_part.blocks(alloc.block_pages))
+            out.fault_seconds += self.gmmu.create_ptes(n_blocks)
+            out.hbm_bytes += shape.useful_bytes * gpu_part.count
+        if cpu_part:
+            # Nothing evictable: spill to CPU memory. For naturally
+            # oversubscribed allocations the driver remote-maps the spill.
+            spill = self._page_bytes(cpu_part.count)
+            loc = (
+                Location.CPU_PINNED
+                if self._naturally_oversubscribed(alloc)
+                else Location.CPU
+            )
+            alloc.set_location(cpu_part, loc)
+            self.physical.cpu.reserve(spill, tag=self._tag(alloc))
+            out.fault_seconds += self.gmmu.far_fault(
+                len(cpu_part.blocks(alloc.block_pages))
+            )
+            out.remote_seconds += self.link.remote_access_time(
+                shape.useful_bytes * cpu_part.count,
+                Processor.GPU,
+                efficiency=self.config.managed_remote_eff(),
+            )
+            out.remote_bytes += shape.useful_bytes * cpu_part.count
+        alloc.stats.managed_faults += 1
+
+    def _on_demand_migrate(
+        self,
+        alloc: Allocation,
+        cpu_pages: PageSet,
+        shape: AccessShape,
+        out: ManagedOutcome,
+        now: float,
+    ) -> None:
+        if self._naturally_oversubscribed(alloc):
+            # The driver gives up on migrating an allocation that cannot
+            # fit: remote-map it instead (Section 7, 34-qubit behaviour).
+            alloc.oversubscription_pinned = True
+            nbytes = self._page_bytes(cpu_pages.count)
+            alloc.set_location(cpu_pages, Location.CPU_PINNED)
+            self._remote_access(alloc, cpu_pages, shape, out, write=False)
+            return
+        nbytes = self._page_bytes(cpu_pages.count)
+        _, evict_t = self.evict_bytes(nbytes + self._headroom(), now)
+        thrash = self.config.eviction_thrash_factor() if evict_t > 0 else 1.0
+        fit_pages = max(self.physical.gpu.free - self._headroom(), 0) // (
+            self.config.system_page_size
+        )
+        move = cpu_pages.take_first(fit_pages)
+        rest = cpu_pages.difference(move)
+        if move:
+            moved_bytes = self._page_bytes(move.count)
+            # One serviced fault batch per 2 MB block: the tree prefetcher
+            # escalates to full-block moves almost immediately on dense
+            # fault streams, so the effective fault-driven migration rate
+            # is ~2 MB per farfault_cost + transfer (≈ 65 GB/s, matching
+            # measured UVM migration throughput).
+            batches = -(-moved_bytes // self.config.managed_migration_granularity)
+            out.fault_seconds += self.gmmu.far_fault(batches) + evict_t
+            effective = int(moved_bytes * thrash)
+            out.transfer_seconds += self.link.streaming_time(
+                effective, Processor.CPU, Processor.GPU
+            )
+            alloc.set_location(move, Location.GPU)
+            self.physical.cpu.release(moved_bytes, tag=self._tag(alloc))
+            self.physical.gpu.reserve(moved_bytes, tag=self._tag(alloc))
+            out.migrated_bytes += effective
+            # Data lands in GPU memory and is then read locally (the
+            # paper's Figure 10 note: even iteration 1 reads from GPU
+            # memory in the managed version).
+            out.hbm_bytes += shape.useful_bytes * move.count
+            alloc.stats.pages_migrated_to_gpu += move.count
+            self.counters.total.add(
+                migration_h2d_bytes=effective,
+                pages_migrated_h2d=move.count,
+                managed_far_faults=batches,
+            )
+        if rest:
+            self._streaming_thrash(alloc, rest, shape, out)
+
+    def _streaming_thrash(
+        self,
+        alloc: Allocation,
+        pages: PageSet,
+        shape: AccessShape,
+        out: ManagedOutcome,
+    ) -> None:
+        """Evict+migrate churn for the part of a working set that cannot
+        fit in GPU memory (simulated-oversubscription behaviour of
+        Section 7).
+
+        The driver still services these faults: each block is migrated in
+        — evicting a block that was itself migrated moments earlier — and
+        is evicted again before it can be reused. Pages end the epoch
+        CPU-resident; the epoch pays the full in-and-out traffic, fault
+        servicing, and the page-size-dependent thrash amplification
+        (Figure 13's 3x slower 64 KB compute at 30 qubits).
+        """
+        nbytes = self._page_bytes(pages.count)
+        if nbytes == 0:
+            return
+        thrash = self.config.eviction_thrash_factor()
+        effective = int(nbytes * thrash)
+        batches = -(-nbytes // self.config.managed_migration_granularity)
+        out.fault_seconds += self.gmmu.far_fault(batches)
+        out.transfer_seconds += self.link.streaming_time(
+            effective, Processor.CPU, Processor.GPU
+        )
+        out.transfer_seconds += (
+            self.link.streaming_time(effective, Processor.GPU, Processor.CPU)
+            / self.config.eviction_bandwidth_fraction
+        )
+        # The data is consumed from GPU memory while it is briefly
+        # resident (Figure 10's observation that managed reads come from
+        # GPU memory even while pages migrate).
+        out.hbm_bytes += shape.useful_bytes * pages.count
+        out.evicted_bytes += effective
+        out.migrated_bytes += effective
+        alloc.stats.pages_migrated_to_gpu += pages.count
+        alloc.stats.pages_evicted += pages.count
+        self.counters.total.add(
+            migration_h2d_bytes=effective,
+            migration_d2h_bytes=effective,
+            eviction_bytes=effective,
+            managed_far_faults=batches,
+            pages_migrated_h2d=pages.count,
+            pages_migrated_d2h=pages.count,
+            pages_evicted=pages.count,
+        )
+
+    def _remote_access(
+        self,
+        alloc: Allocation,
+        pages: PageSet,
+        shape: AccessShape,
+        out: ManagedOutcome,
+        write: bool,
+    ) -> None:
+        wire = self.fabric.remote_traffic(Processor.GPU, shape, pages.count)
+        out.remote_seconds += self.link.remote_access_time(
+            wire, Processor.GPU, efficiency=self.config.managed_remote_eff()
+        )
+        out.remote_bytes += wire
+
+    # -- CPU access path ------------------------------------------------------------
+
+    def cpu_access(
+        self,
+        alloc: Allocation,
+        pages: PageSet,
+        shape: AccessShape,
+        *,
+        write: bool,
+        now: float,
+    ) -> ManagedOutcome:
+        out = ManagedOutcome()
+        counts = alloc.split_counts(pages)
+
+        n_unmapped = int(counts[Location.UNMAPPED])
+        if n_unmapped:
+            # CPU first-touch: system page table entries, CPU placement.
+            unmapped = alloc.subset(pages, Location.UNMAPPED)
+            nbytes = self._page_bytes(unmapped.count)
+            alloc.set_location(unmapped, Location.CPU)
+            self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
+            out.fault_seconds += unmapped.count * self.config.cpu_fault_cost
+            alloc.stats.cpu_faults += unmapped.count
+            self.counters.total.add(cpu_page_faults=unmapped.count)
+
+        n_gpu = int(counts[Location.GPU])
+        if n_gpu:
+            # Page retrieval: migrate touched blocks back to CPU memory
+            # (the thrashing hazard of Section 6).
+            gpu_pages = alloc.subset(pages, Location.GPU)
+            blocks = gpu_pages.align_down(alloc.block_pages).clip(alloc.n_pages)
+            victim = alloc.subset(blocks, Location.GPU)
+            nbytes = self._page_bytes(victim.count)
+            alloc.set_location(victim, Location.CPU)
+            self.physical.gpu.release(nbytes, tag=self._tag(alloc))
+            self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
+            out.transfer_seconds += self.link.streaming_time(
+                nbytes, Processor.GPU, Processor.CPU
+            )
+            out.fault_seconds += self.gmmu.far_fault(
+                len(victim.blocks(alloc.block_pages))
+            ) + self.tlbs.gpu.shootdown(victim.count)
+            out.migrated_bytes += nbytes
+            alloc.stats.pages_migrated_to_cpu += victim.count
+            self.counters.total.add(
+                migration_d2h_bytes=nbytes,
+                pages_migrated_d2h=victim.count,
+                tlb_shootdowns=1,
+            )
+
+        cpu_like = int(counts[Location.CPU]) + int(counts[Location.CPU_PINNED])
+        local_bytes = shape.useful_bytes * (cpu_like + n_unmapped + n_gpu)
+        out.lpddr_bytes += local_bytes
+        self.counters.total.add(
+            lpddr_write_bytes=local_bytes if write else 0,
+            lpddr_read_bytes=0 if write else local_bytes,
+        )
+        return out
+
+    # -- explicit prefetch ------------------------------------------------------------
+
+    def prefetch_to_gpu(self, alloc: Allocation, pages: PageSet, now: float) -> float:
+        """``cudaMemPrefetchAsync(.., device)``: bulk-migrate to GPU.
+
+        Moves CPU-resident *and* remote-pinned pages at streaming rate,
+        evicting LRU blocks as needed. Returns the transfer time.
+        """
+        seconds = 0.0
+        movable = alloc.subset(pages, Location.CPU).union(
+            alloc.subset(pages, Location.CPU_PINNED)
+        )
+        if not movable:
+            return 0.0
+        nbytes = self._page_bytes(movable.count)
+        _, evict_t = self.evict_bytes(nbytes + self._headroom(), now)
+        seconds += evict_t
+        fit_pages = max(self.physical.gpu.free - self._headroom(), 0) // (
+            self.config.system_page_size
+        )
+        move = movable.take_first(fit_pages)
+        if move:
+            moved = self._page_bytes(move.count)
+            alloc.set_location(move, Location.GPU)
+            self.physical.cpu.release(moved, tag=self._tag(alloc))
+            self.physical.gpu.reserve(moved, tag=self._tag(alloc))
+            seconds += self.link.streaming_time(moved, Processor.CPU, Processor.GPU)
+            alloc.touch_blocks(move, now)
+            alloc.stats.pages_migrated_to_gpu += move.count
+            self.counters.total.add(
+                migration_h2d_bytes=moved, pages_migrated_h2d=move.count
+            )
+        return seconds
+
+    # -- accounting ------------------------------------------------------------------
+
+    def _account(self, out: ManagedOutcome, write: bool) -> None:
+        if write:
+            self.counters.total.add(
+                hbm_write_bytes=out.hbm_bytes, c2c_write_bytes=out.remote_bytes
+            )
+        else:
+            self.counters.total.add(
+                hbm_read_bytes=out.hbm_bytes, c2c_read_bytes=out.remote_bytes
+            )

@@ -1,0 +1,265 @@
+"""Compact, vectorised sets of page indices.
+
+Every memory access the simulator processes is described at page
+granularity by a :class:`PageSet`: either a dense ``[start, stop)`` range
+(the common case for streaming kernels — a full statevector sweep is one
+range) or a sorted array of unique page indices (irregular gathers such as
+BFS frontier expansion).
+
+Ranges are kept symbolic so that full-allocation sweeps over tens of
+millions of pages never materialise an index array; the page-state
+machinery in :mod:`repro.mem.pagetable` has slice-based fast paths for
+them. Index arrays are always ``int64``, sorted, and duplicate-free, which
+the property-based tests in ``tests/property`` enforce as an invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PageSet:
+    """An immutable set of page indices within one allocation."""
+
+    start: int = 0
+    stop: int = 0
+    #: Sorted unique indices; when present, ``start``/``stop`` hold the
+    #: bounding interval for cheap range checks.
+    index: np.ndarray | None = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "PageSet":
+        return PageSet(0, 0)
+
+    @staticmethod
+    def range(start: int, stop: int) -> "PageSet":
+        if stop < start:
+            raise ValueError(f"invalid page range [{start}, {stop})")
+        if start < 0:
+            raise ValueError("page indices must be non-negative")
+        return PageSet(int(start), int(stop))
+
+    @staticmethod
+    def full(n_pages: int) -> "PageSet":
+        return PageSet.range(0, n_pages)
+
+    @staticmethod
+    def of(indices: np.ndarray | list[int]) -> "PageSet":
+        """Build from arbitrary indices (sorted and deduplicated here)."""
+        idx = np.unique(np.asarray(indices, dtype=np.int64))
+        if idx.size == 0:
+            return PageSet.empty()
+        if idx[0] < 0:
+            raise ValueError("page indices must be non-negative")
+        # Collapse to a dense range when the indices are contiguous: the
+        # slice fast paths downstream are much cheaper than fancy indexing.
+        lo, hi = int(idx[0]), int(idx[-1])
+        if hi - lo + 1 == idx.size:
+            return PageSet(lo, hi + 1)
+        return PageSet(lo, hi + 1, idx)
+
+    @staticmethod
+    def strided(start: int, stop: int, step: int) -> "PageSet":
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if step == 1:
+            return PageSet.range(start, stop)
+        return PageSet.of(np.arange(start, stop, step, dtype=np.int64))
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def is_range(self) -> bool:
+        return self.index is None
+
+    @property
+    def count(self) -> int:
+        if self.index is not None:
+            return int(self.index.size)
+        return self.stop - self.start
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def covers_all(self, n_pages: int) -> bool:
+        return self.is_range and self.start == 0 and self.stop >= n_pages
+
+    def indices(self) -> np.ndarray:
+        """Materialise the indices (avoid on huge ranges where possible)."""
+        if self.index is not None:
+            return self.index
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    # -- set algebra ---------------------------------------------------------
+
+    def intersect(self, other: "PageSet") -> "PageSet":
+        if not self or not other:
+            return PageSet.empty()
+        if self.is_range and other.is_range:
+            lo, hi = max(self.start, other.start), min(self.stop, other.stop)
+            return PageSet.range(lo, hi) if lo < hi else PageSet.empty()
+        if self.is_range:
+            idx = other.index
+            return PageSet._from_sorted(
+                idx[(idx >= self.start) & (idx < self.stop)]
+            )
+        if other.is_range:
+            return other.intersect(self)
+        return PageSet._from_sorted(
+            np.intersect1d(self.index, other.index, assume_unique=True)
+        )
+
+    def union(self, other: "PageSet") -> "PageSet":
+        if not self:
+            return other
+        if not other:
+            return self
+        if (
+            self.is_range
+            and other.is_range
+            and self.start <= other.stop
+            and other.start <= self.stop
+        ):
+            return PageSet.range(
+                min(self.start, other.start), max(self.stop, other.stop)
+            )
+        return PageSet.of(np.concatenate([self.indices(), other.indices()]))
+
+    def difference(self, other: "PageSet") -> "PageSet":
+        if not self or not other:
+            return self
+        if other.is_range and self.is_range:
+            # Possibly splits the range in two; fall back to indices only
+            # for the split case.
+            if other.start <= self.start and other.stop >= self.stop:
+                return PageSet.empty()
+            if other.stop <= self.start or other.start >= self.stop:
+                return self
+            if other.start <= self.start:
+                return PageSet.range(other.stop, self.stop)
+            if other.stop >= self.stop:
+                return PageSet.range(self.start, other.start)
+        mine = self.indices()
+        mask = np.ones(mine.size, dtype=bool)
+        if other.is_range:
+            mask &= (mine < other.start) | (mine >= other.stop)
+        else:
+            mask &= ~np.isin(mine, other.index, assume_unique=True)
+        return PageSet._from_sorted(mine[mask])
+
+    @staticmethod
+    def _from_sorted(idx: np.ndarray) -> "PageSet":
+        """Internal: build from an already-sorted unique int64 array."""
+        if idx.size == 0:
+            return PageSet.empty()
+        lo, hi = int(idx[0]), int(idx[-1])
+        if hi - lo + 1 == idx.size:
+            return PageSet(lo, hi + 1)
+        return PageSet(lo, hi + 1, idx)
+
+    def take_first(self, k: int) -> "PageSet":
+        """The ``k`` lowest-numbered pages (used by budget-capped actions)."""
+        if k <= 0:
+            return PageSet.empty()
+        if k >= self.count:
+            return self
+        if self.is_range:
+            return PageSet.range(self.start, self.start + k)
+        return PageSet._from_sorted(self.index[:k])
+
+    # -- vectorised views over per-page state arrays ---------------------------
+
+    def view(self, state: np.ndarray) -> np.ndarray:
+        """A (possibly writable) view/selection of ``state`` at these pages.
+
+        Range page sets return a slice view (zero copy, writable in place);
+        index page sets return a fancy-indexed copy — use :meth:`assign`
+        for writes in that case.
+        """
+        if self.is_range:
+            return state[self.start : self.stop]
+        return state[self.index]
+
+    def assign(self, state: np.ndarray, value) -> None:
+        """Write ``value`` into ``state`` at these pages, vectorised."""
+        if self.is_range:
+            state[self.start : self.stop] = value
+        else:
+            state[self.index] = value
+
+    def add_at(self, state: np.ndarray, value) -> None:
+        if self.is_range:
+            state[self.start : self.stop] += value
+        else:
+            # np.add.at is required for correctness with duplicate indices,
+            # but our indices are unique so fancy-index += is safe & faster.
+            state[self.index] += value
+
+    def where(self, state: np.ndarray, value) -> "PageSet":
+        """Subset of these pages whose ``state`` equals ``value``."""
+        if self.is_range:
+            rel = np.flatnonzero(state[self.start : self.stop] == value)
+            if rel.size == self.count:
+                return self
+            return PageSet._from_sorted(rel + self.start)
+        mask = state[self.index] == value
+        if mask.all():
+            return self
+        return PageSet._from_sorted(self.index[mask])
+
+    def count_where(self, state: np.ndarray, value) -> int:
+        return int(np.count_nonzero(self.view(state) == value))
+
+    # -- misc ------------------------------------------------------------------
+
+    def align_down(self, granule_pages: int) -> "PageSet":
+        """Expand to cover whole ``granule_pages``-aligned blocks.
+
+        Used to model 2 MB-granularity managed-memory migration: a fault on
+        any system page of a block moves the whole block.
+        """
+        if granule_pages <= 1 or not self:
+            return self
+        if self.is_range:
+            lo = (self.start // granule_pages) * granule_pages
+            hi = -(-self.stop // granule_pages) * granule_pages
+            return PageSet.range(lo, hi)
+        blocks = np.unique(self.index // granule_pages)
+        offs = np.arange(granule_pages, dtype=np.int64)
+        return PageSet.of((blocks[:, None] * granule_pages + offs).ravel())
+
+    def blocks(self, granule_pages: int) -> np.ndarray:
+        """Distinct ``granule_pages``-sized block ids touched by this set."""
+        if not self:
+            return np.empty(0, dtype=np.int64)
+        if self.is_range:
+            lo = self.start // granule_pages
+            hi = (self.stop - 1) // granule_pages
+            return np.arange(lo, hi + 1, dtype=np.int64)
+        return np.unique(self.index // granule_pages)
+
+    def clip(self, n_pages: int) -> "PageSet":
+        """Restrict to valid page numbers of an ``n_pages`` allocation."""
+        return self.intersect(PageSet.range(0, n_pages))
+
+    def __repr__(self) -> str:
+        if self.is_range:
+            return f"PageSet[{self.start}:{self.stop}]"
+        return f"PageSet({self.count} pages in [{self.start}, {self.stop}))"
+
+
+def pages_of_byte_range(
+    byte_start: int, byte_stop: int, page_size: int
+) -> PageSet:
+    """Pages overlapped by the byte interval ``[byte_start, byte_stop)``."""
+    if byte_stop <= byte_start:
+        return PageSet.empty()
+    return PageSet.range(byte_start // page_size, -(-byte_stop // page_size))

@@ -1,0 +1,106 @@
+"""Physical memory pools for the two NUMA nodes of the superchip.
+
+The Grace Hopper system exposes CPU LPDDR5X and GPU HBM3 as two NUMA
+nodes (Section 2.1). The simulator tracks physical occupancy by byte
+accounting per node: page tables decide *which* pages exist, the pools
+decide *whether* a placement fits and how much free capacity remains —
+which is exactly the quantity the oversubscription experiments
+(Section 7) manipulate with their balloon ``cudaMalloc`` allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.config import Location, Processor, SystemConfig
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a non-spillable reservation cannot be satisfied."""
+
+
+@dataclass
+class MemoryPool:
+    """Byte-accounted physical memory of one NUMA node."""
+
+    name: str
+    capacity: int
+    used: int = 0
+    #: Peak occupancy, for ``M_peak`` in the oversubscription ratio.
+    peak: int = 0
+    #: Bytes charged by category (allocator bookkeeping, Section 3.2's
+    #: profiler distinguishes cudaMalloc / managed / system residency).
+    by_tag: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def can_fit(self, nbytes: int) -> bool:
+        return nbytes <= self.free
+
+    def reserve(self, nbytes: int, tag: str = "anon") -> None:
+        if nbytes < 0:
+            raise ValueError("cannot reserve a negative size")
+        if nbytes > self.free:
+            raise OutOfMemoryError(
+                f"{self.name}: requested {nbytes} bytes with only "
+                f"{self.free} of {self.capacity} free"
+            )
+        self.used += nbytes
+        self.by_tag[tag] = self.by_tag.get(tag, 0) + nbytes
+        self.peak = max(self.peak, self.used)
+
+    def reserve_up_to(self, nbytes: int, tag: str = "anon") -> int:
+        """Reserve as much of ``nbytes`` as fits; returns the granted size.
+
+        First-touch placement uses this: a GPU first-touch lands on the GPU
+        node while capacity lasts and spills to the CPU node afterwards.
+        """
+        granted = min(max(nbytes, 0), self.free)
+        if granted:
+            self.reserve(granted, tag)
+        return granted
+
+    def release(self, nbytes: int, tag: str = "anon") -> None:
+        if nbytes < 0:
+            raise ValueError("cannot release a negative size")
+        have = self.by_tag.get(tag, 0)
+        if nbytes > have or nbytes > self.used:
+            raise ValueError(
+                f"{self.name}: releasing {nbytes} bytes exceeds the "
+                f"{have} bytes reserved under tag {tag!r}"
+            )
+        self.used -= nbytes
+        self.by_tag[tag] = have - nbytes
+
+
+class PhysicalMemory:
+    """The pair of NUMA pools plus placement helpers."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.cpu = MemoryPool("LPDDR5X", config.cpu_memory_bytes)
+        self.gpu = MemoryPool("HBM3", config.gpu_memory_bytes)
+        # The driver's baseline footprint is visible in nvidia-smi and in
+        # the paper's GPU-used-memory profiles (Section 3.2).
+        self.gpu.reserve(config.gpu_driver_baseline_bytes, tag="driver")
+
+    def pool(self, where: Processor | Location) -> MemoryPool:
+        if where in (Processor.GPU, Location.GPU):
+            return self.gpu
+        if where in (Processor.CPU, Location.CPU, Location.CPU_PINNED):
+            return self.cpu
+        raise ValueError(f"no physical pool for {where}")
+
+    def gpu_used_memory(self) -> int:
+        """What nvidia-smi would report (driver baseline included)."""
+        return self.gpu.used
+
+    def gpu_free_memory(self) -> int:
+        return self.gpu.free
+
+    def transfer(self, nbytes: int, src: Location, dst: Location, tag: str) -> None:
+        """Move byte accounting between nodes (page migration/eviction)."""
+        self.pool(src).release(nbytes, tag)
+        self.pool(dst).reserve(nbytes, tag)

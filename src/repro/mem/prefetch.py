@@ -1,0 +1,68 @@
+"""Speculative prefetching for CUDA managed memory.
+
+Section 2.3.2: managed memory employs (a) implicit prefetching by the
+GPU hardware/driver — modelled after the tree-based prefetcher described
+by Ganguly et al. [9], which grows the effective migration granularity
+from a 64 KB basic block toward the full 2 MB allocation block as faults
+cluster — and (b) explicit prefetching via ``cudaMemPrefetchAsync``,
+which the paper uses as the optimisation that rescues the 34-qubit
+managed run (Figures 12 and 13).
+
+The tree prefetcher here computes the *effective migration granularity*
+for a faulting VA block given how much of that block is already resident;
+the managed-memory manager uses it to decide how many bytes each
+far-fault batch actually moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import SystemConfig
+
+#: The UVM driver's basic migration block.
+BASIC_BLOCK_BYTES = 64 * 1024
+
+
+@dataclass
+class PrefetcherStats:
+    faults_seen: int = 0
+    prefetched_bytes: int = 0
+
+
+class TreePrefetcher:
+    """Tree-based granularity escalation (after Ganguly et al.).
+
+    The driver organises each 2 MB block as a binary tree over 64 KB basic
+    blocks. When more than half the children of a subtree are resident,
+    a fault anywhere in the subtree prefetches the whole subtree. The
+    practical consequence — which is all the performance model needs — is
+    that the first faults in a block move 64 KB, and densely-faulting
+    blocks quickly escalate to full-2 MB moves.
+    """
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.stats = PrefetcherStats()
+
+    def effective_granularity(self, resident_fraction: float) -> int:
+        """Bytes migrated by one fault given the block's resident fraction."""
+        if not 0.0 <= resident_fraction <= 1.0:
+            raise ValueError("resident_fraction must be within [0, 1]")
+        gran = BASIC_BLOCK_BYTES
+        block = self.config.managed_migration_granularity
+        # Each halving threshold crossed doubles the subtree migrated.
+        level_fraction = 0.5
+        while gran < block and resident_fraction >= level_fraction:
+            gran *= 2
+            level_fraction = 0.5 + level_fraction / 2
+        return min(gran, block)
+
+    def fault_batches(self, touched_bytes: int, resident_fraction: float) -> int:
+        """Number of far-fault service batches to move ``touched_bytes``."""
+        if touched_bytes <= 0:
+            return 0
+        gran = self.effective_granularity(resident_fraction)
+        self.stats.faults_seen += 1
+        self.stats.prefetched_bytes += touched_bytes
+        return -(-touched_bytes // gran)

@@ -1,0 +1,85 @@
+"""The System Memory Management Unit (SMMU, Arm SMMUv3).
+
+The SMMU walks the system-wide page table on behalf of the CPU and — via
+ATS translation requests arriving over NVLink-C2C — the GPU
+(Section 2.1.2). Two of its behaviours matter for performance:
+
+* **translation service**: resolving a GPU ATS request for an
+  already-mapped system page costs a C2C round trip plus a walk, and is
+  then cached in the GPU's ATS-TBU;
+* **replayable faults**: a GPU first-touch on an unmapped system page
+  raises an SMMU fault that the OS must service (PTE creation) before the
+  access can be replayed — the dominant cost of GPU-side initialisation
+  over system memory (Sections 2.2 and 5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import Processor, SystemConfig
+from .tlb import TlbHierarchy
+
+
+@dataclass
+class SmmuStats:
+    ats_requests: int = 0
+    page_walks: int = 0
+    replayable_faults: int = 0
+    cpu_faults: int = 0
+
+
+class Smmu:
+    """Translation and fault cost model of the SMMU."""
+
+    def __init__(self, config: SystemConfig, tlbs: TlbHierarchy):
+        self.config = config
+        self.tlbs = tlbs
+        self.stats = SmmuStats()
+
+    def translate_for_gpu(self, n_pages: int) -> float:
+        """Service ``n_pages`` ATS translation requests for mapped pages.
+
+        Walks are pipelined; the per-request cost is a fraction of the C2C
+        latency because translations are batched by the ATS-TBU.
+        """
+        if n_pages <= 0:
+            return 0.0
+        self.stats.ats_requests += n_pages
+        self.stats.page_walks += n_pages
+        self.tlbs.ats_tbu.fill(n_pages)
+        return n_pages * (self.config.c2c_latency * 0.25)
+
+    def gpu_first_touch_fault(self, n_pages: int) -> float:
+        """OS-serviced replayable faults for GPU first-touch.
+
+        Cost is per page: ATS request, SMMU walk miss, fault delivery to
+        the OS, PTE creation in the system page table, replay. This is the
+        term that makes 4 KB system pages 16x more expensive to
+        GPU-initialise than 64 KB pages (Figure 9).
+        """
+        if n_pages <= 0:
+            return 0.0
+        self.stats.replayable_faults += n_pages
+        self.stats.page_walks += n_pages
+        return n_pages * self.config.gpu_replayable_fault_cost
+
+    def cpu_first_touch_fault(self, n_pages: int) -> float:
+        """Anonymous-page faults taken by CPU first-touch accesses."""
+        if n_pages <= 0:
+            return 0.0
+        self.stats.cpu_faults += n_pages
+        cost = n_pages * self.config.cpu_fault_cost
+        if self.config.autonuma_enable:
+            # AutoNUMA hinting faults are why the tuning guide disables it
+            # (Section 3 testbed configuration).
+            cost += n_pages * self.config.autonuma_hint_fault_cost
+        return cost
+
+    def bulk_populate(self, n_pages: int) -> float:
+        """Populate PTEs outside the fault path (cudaHostRegister or an
+        artificial CPU pre-init loop, Section 5.1.2)."""
+        if n_pages <= 0:
+            return 0.0
+        self.stats.page_walks += n_pages
+        return n_pages * self.config.bulk_pte_populate_cost

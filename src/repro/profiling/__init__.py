@@ -1,0 +1,22 @@
+"""Profiling tools: memory-utilisation sampler, hardware counters,
+Nsight-style event traces (Section 3.2 of the paper)."""
+
+from .counters import CounterSet, HardwareCounters, KernelTrafficRecord
+from .memprofiler import MemoryProfile, MemoryProfiler, MemorySample
+from .nsight import FaultSummary, NsightTrace
+from .trace import AccessTrace, TraceRecord, TraceRecorder, replay
+
+__all__ = [
+    "CounterSet",
+    "HardwareCounters",
+    "KernelTrafficRecord",
+    "MemoryProfile",
+    "MemoryProfiler",
+    "MemorySample",
+    "NsightTrace",
+    "FaultSummary",
+    "AccessTrace",
+    "TraceRecord",
+    "TraceRecorder",
+    "replay",
+]

@@ -1,0 +1,132 @@
+"""Hardware performance counters.
+
+The paper quantifies per-kernel memory traffic with Nsight Compute's
+Memory Workload Analysis (traffic over NVLink-C2C, system memory, and
+global GPU memory — Section 3.2) and uses L1<->L2 traffic as an indicator
+of the data rate feeding the GPU's compute units (Figure 12). This module
+provides the equivalent counter set over simulator state: a global
+cumulative set plus per-kernel deltas captured around each launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class CounterSet:
+    """A snapshot-able bundle of monotonically increasing counters."""
+
+    # Traffic (bytes)
+    hbm_read_bytes: int = 0
+    hbm_write_bytes: int = 0
+    lpddr_read_bytes: int = 0
+    lpddr_write_bytes: int = 0
+    c2c_read_bytes: int = 0  # remote reads by the GPU over NVLink-C2C
+    c2c_write_bytes: int = 0
+    cpu_remote_read_bytes: int = 0  # CPU reads of GPU-resident memory
+    cpu_remote_write_bytes: int = 0
+    l1l2_bytes: int = 0
+    migration_h2d_bytes: int = 0
+    migration_d2h_bytes: int = 0
+    eviction_bytes: int = 0
+    explicit_copy_bytes: int = 0
+
+    # Events
+    gpu_replayable_faults: int = 0
+    cpu_page_faults: int = 0
+    managed_far_faults: int = 0
+    migration_notifications: int = 0
+    pages_migrated_h2d: int = 0
+    pages_migrated_d2h: int = 0
+    pages_evicted: int = 0
+    tlb_shootdowns: int = 0
+
+    def snapshot(self) -> "CounterSet":
+        return CounterSet(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def delta(self, earlier: "CounterSet") -> "CounterSet":
+        return CounterSet(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def add(self, **increments: int) -> None:
+        for name, value in increments.items():
+            setattr(self, name, getattr(self, name) + value)
+
+    @property
+    def gpu_memory_read_bytes(self) -> int:
+        """'Reads from GPU memory' as reported in Figure 10."""
+        return self.hbm_read_bytes
+
+    @property
+    def nvlink_read_bytes(self) -> int:
+        """'Remote memory reads over NVLink-C2C' as in Figure 10."""
+        return self.c2c_read_bytes
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class KernelTrafficRecord:
+    """Per-kernel Memory Workload Analysis row (Nsight Compute style)."""
+
+    kernel: str
+    start: float
+    duration: float
+    counters: CounterSet
+    tags: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def l1l2_throughput(self) -> float:
+        """Bytes/s between L1 and L2 during this kernel (Figure 12)."""
+        return self.counters.l1l2_bytes / self.duration if self.duration else 0.0
+
+    def tier_throughput(self) -> dict[str, float]:
+        """Throughput by memory tier, the Figure 12 decomposition."""
+        if not self.duration:
+            return {"gpu_memory": 0.0, "nvlink_c2c": 0.0, "l1l2": 0.0}
+        c = self.counters
+        return {
+            "gpu_memory": (c.hbm_read_bytes + c.hbm_write_bytes) / self.duration,
+            "nvlink_c2c": (c.c2c_read_bytes + c.c2c_write_bytes) / self.duration,
+            "l1l2": c.l1l2_bytes / self.duration,
+        }
+
+
+class HardwareCounters:
+    """Global counters plus a per-kernel capture facility."""
+
+    def __init__(self) -> None:
+        self.total = CounterSet()
+        self.kernel_records: list[KernelTrafficRecord] = []
+        self._kernel_start_snapshot: CounterSet | None = None
+        self._kernel_start_time: float = 0.0
+        self._kernel_name: str = ""
+
+    def begin_kernel(self, name: str, now: float) -> None:
+        self._kernel_name = name
+        self._kernel_start_time = now
+        self._kernel_start_snapshot = self.total.snapshot()
+
+    def end_kernel(self, now: float, **tags: str) -> KernelTrafficRecord:
+        assert self._kernel_start_snapshot is not None, "no kernel in flight"
+        rec = KernelTrafficRecord(
+            kernel=self._kernel_name,
+            start=self._kernel_start_time,
+            duration=now - self._kernel_start_time,
+            counters=self.total.delta(self._kernel_start_snapshot),
+            tags=dict(tags),
+        )
+        self.kernel_records.append(rec)
+        self._kernel_start_snapshot = None
+        return rec
+
+    def records_for(self, kernel_prefix: str) -> list[KernelTrafficRecord]:
+        return [
+            r for r in self.kernel_records if r.kernel.startswith(kernel_prefix)
+        ]

@@ -1,0 +1,37 @@
+"""Microbenchmarks and synthetic access-pattern generators."""
+
+from .commscope import CommScopeResult, asymptotic_bandwidth, run_commscope
+from .patterns import (
+    irregular_gather,
+    mixed_pattern,
+    regular_sweep,
+    regular_window,
+    strided_sweep,
+)
+from .roofline import (
+    KernelRooflinePoint,
+    Roofline,
+    classify_kernel,
+    roofline_table,
+    rooflines,
+)
+from .stream import StreamResult, best_bandwidth, run_stream
+
+__all__ = [
+    "run_stream",
+    "StreamResult",
+    "best_bandwidth",
+    "run_commscope",
+    "CommScopeResult",
+    "asymptotic_bandwidth",
+    "regular_sweep",
+    "regular_window",
+    "irregular_gather",
+    "mixed_pattern",
+    "strided_sweep",
+    "Roofline",
+    "KernelRooflinePoint",
+    "rooflines",
+    "classify_kernel",
+    "roofline_table",
+]

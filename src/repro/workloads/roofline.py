@@ -1,0 +1,124 @@
+"""Roofline analysis over the simulated memory hierarchy.
+
+The classic roofline model bounds a kernel's attainable performance by
+``min(peak_flops, AI x bandwidth)`` where AI is arithmetic intensity
+(flops per byte). On Grace Hopper the relevant bandwidth depends on
+*where the data lives*: HBM3 for GPU-resident data, NVLink-C2C at
+remote-access efficiency for CPU-resident system memory, and the slower
+UVM remote-mapping rate for oversubscription-pinned managed memory —
+three rooflines, one machine. This module computes them from a
+:class:`SystemConfig` and classifies recorded kernel launches against
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..profiling.counters import KernelTrafficRecord
+from ..sim.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One bandwidth ceiling of the machine."""
+
+    name: str
+    bandwidth: float  # bytes/s
+    peak_flops: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """AI at which the kernel turns compute-bound (flops/byte)."""
+        return self.peak_flops / self.bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        if intensity < 0:
+            raise ValueError("arithmetic intensity must be non-negative")
+        return min(self.peak_flops, intensity * self.bandwidth)
+
+
+def rooflines(config: SystemConfig | None = None) -> dict[str, Roofline]:
+    """The memory-tier rooflines of the simulated GH200."""
+    cfg = config or SystemConfig()
+    return {
+        "hbm": Roofline("GPU-resident (HBM3)", cfg.hbm_bandwidth, cfg.gpu_flops),
+        "system-remote": Roofline(
+            "CPU-resident system memory (C2C, ATS)",
+            cfg.c2c_h2d_bandwidth * cfg.remote_access_efficiency,
+            cfg.gpu_flops,
+        ),
+        "managed-remote": Roofline(
+            "Remote-pinned managed memory (C2C, UVM mapping)",
+            cfg.c2c_h2d_bandwidth * cfg.managed_remote_eff(),
+            cfg.gpu_flops,
+        ),
+    }
+
+
+@dataclass
+class KernelRooflinePoint:
+    """One kernel placed on the roofline plot."""
+
+    kernel: str
+    intensity: float  # flops/byte actually moved
+    achieved_flops: float
+    bound: str  # "compute" or the limiting tier name
+    efficiency: float  # achieved / attainable on its tier
+
+    def __post_init__(self):
+        self.efficiency = min(self.efficiency, 1.0)
+
+
+def classify_kernel(
+    record: KernelTrafficRecord,
+    flops: float,
+    config: SystemConfig | None = None,
+) -> KernelRooflinePoint:
+    """Place one recorded kernel launch on the roofline.
+
+    The limiting tier is chosen by where the kernel's bytes came from:
+    the tier that supplied the majority of traffic.
+    """
+    cfg = config or SystemConfig()
+    c = record.counters
+    hbm_bytes = c.hbm_read_bytes + c.hbm_write_bytes
+    c2c_bytes = c.c2c_read_bytes + c.c2c_write_bytes
+    total = hbm_bytes + c2c_bytes
+    lines = rooflines(cfg)
+    if total == 0:
+        return KernelRooflinePoint(
+            kernel=record.kernel,
+            intensity=float("inf"),
+            achieved_flops=flops / record.duration if record.duration else 0.0,
+            bound="compute",
+            efficiency=(flops / record.duration) / cfg.gpu_flops
+            if record.duration
+            else 0.0,
+        )
+    tier = lines["hbm"] if hbm_bytes >= c2c_bytes else lines["system-remote"]
+    intensity = flops / total
+    achieved = flops / record.duration if record.duration else 0.0
+    attainable = tier.attainable_flops(intensity)
+    bound = (
+        "compute" if intensity >= tier.ridge_intensity else tier.name
+    )
+    return KernelRooflinePoint(
+        kernel=record.kernel,
+        intensity=intensity,
+        achieved_flops=achieved,
+        bound=bound,
+        efficiency=achieved / attainable if attainable else 0.0,
+    )
+
+
+def roofline_table(config: SystemConfig | None = None) -> list[dict]:
+    """Summary rows: each tier's bandwidth and ridge point."""
+    return [
+        {
+            "tier": line.name,
+            "bandwidth_gb_s": round(line.bandwidth / 1e9, 1),
+            "ridge_flops_per_byte": round(line.ridge_intensity, 1),
+        }
+        for line in rooflines(config).values()
+    ]

@@ -1,0 +1,99 @@
+"""STREAM bandwidth microbenchmark (Section 2.1 anchors).
+
+The paper reports STREAM results on the testbed: GPU HBM3 at 3.4 TB/s
+(vs 4 TB/s theoretical) and CPU LPDDR5X at 486 GB/s (vs 500 GB/s
+theoretical). This module runs the classic four STREAM kernels (copy,
+scale, add, triad) on either processor of the simulated system and
+reports achieved-vs-theoretical bandwidth the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kernels import ArrayAccess
+from ..core.runtime import GraceHopperSystem
+from ..sim.config import Processor
+
+
+@dataclass
+class StreamResult:
+    processor: str
+    kernel: str
+    bytes_moved: int
+    seconds: float
+    bandwidth: float
+    theoretical: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.bandwidth / self.theoretical
+
+
+#: (name, reads, writes, flops-per-element)
+STREAM_KERNELS = [
+    ("copy", 1, 1, 0.0),
+    ("scale", 1, 1, 1.0),
+    ("add", 2, 1, 1.0),
+    ("triad", 2, 1, 2.0),
+]
+
+
+def run_stream(
+    gh: GraceHopperSystem,
+    processor: Processor,
+    *,
+    n_elements: int = 1 << 24,
+    dtype=np.float64,
+) -> list[StreamResult]:
+    """Run STREAM on one processor; arrays are first-touched locally so
+    every kernel measures pure local bandwidth."""
+    theoretical = (
+        gh.config.hbm_theoretical_bandwidth
+        if processor is Processor.GPU
+        else gh.config.cpu_theoretical_bandwidth
+    )
+    itemsize = np.dtype(dtype).itemsize
+    arrays = [
+        gh.malloc(dtype, (n_elements,), name=f"stream_{i}") for i in range(3)
+    ]
+    # First-touch locally: CPU init for CPU runs, GPU init for GPU runs.
+    for arr in arrays:
+        if processor is Processor.CPU:
+            gh.cpu_phase("stream-init", [ArrayAccess.write_(arr)], threads=72)
+        else:
+            gh.launch_kernel("stream-init", [ArrayAccess.write_(arr)])
+
+    results = []
+    for name, n_reads, n_writes, flops_per_el in STREAM_KERNELS:
+        accesses = [ArrayAccess.read(arrays[i]) for i in range(n_reads)]
+        accesses += [ArrayAccess.write_(arrays[2]) for _ in range(n_writes)]
+        nbytes = (n_reads + n_writes) * n_elements * itemsize
+        t0 = gh.now
+        if processor is Processor.GPU:
+            gh.launch_kernel(
+                f"stream-{name}", accesses, flops=flops_per_el * n_elements
+            )
+        else:
+            gh.cpu_phase(f"stream-{name}", accesses, threads=72)
+        dt = gh.now - t0
+        results.append(
+            StreamResult(
+                processor=processor.value,
+                kernel=name,
+                bytes_moved=nbytes,
+                seconds=dt,
+                bandwidth=nbytes / dt,
+                theoretical=theoretical,
+            )
+        )
+    for arr in arrays:
+        gh.free(arr)
+    return results
+
+
+def best_bandwidth(results: list[StreamResult]) -> StreamResult:
+    """STREAM convention: report the best kernel (usually triad/copy)."""
+    return max(results, key=lambda r: r.bandwidth)

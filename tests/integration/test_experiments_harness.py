@@ -1,0 +1,102 @@
+"""Integration: the experiment registry, harness, report, and CLI."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    experiment_ids,
+    render_markdown,
+    render_table,
+    run_experiment,
+)
+from repro.bench.cli import main as cli_main
+from repro.bench.harness import make_config, scaled_qubits, speedup
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        ids = set(experiment_ids())
+        paper_artifacts = {
+            "table1", "table2", "sec21",
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "sec512",
+        }
+        assert paper_artifacts <= ids
+        ablations = {i for i in ids if i.startswith("abl_")}
+        assert len(ablations) >= 5
+        assert ids == paper_artifacts | ablations
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_static_tables_run_instantly(self):
+        for exp_id in ("table1", "table2"):
+            result = run_experiment(exp_id)
+            assert isinstance(result, ExperimentResult)
+            assert result.rows
+
+
+class TestHarness:
+    def test_make_config_scaled(self):
+        cfg = make_config(1 / 64, page_size=65536, migration=False)
+        assert cfg.system_page_size == 65536
+        assert not cfg.migration_enable
+        assert cfg.gpu_memory_bytes < 2 * 1024**3
+
+    def test_scaled_qubits(self):
+        assert scaled_qubits(30, 1.0) == 30
+        assert scaled_qubits(30, 1 / 64) == 24
+        assert scaled_qubits(5, 1 / 2**30) == 4  # floor
+
+    def test_speedup_handles_zero(self):
+        assert speedup(1.0, 0.0) == float("inf")
+        assert speedup(2.0, 1.0) == 2.0
+
+
+class TestReport:
+    @pytest.fixture
+    def result(self):
+        res = ExperimentResult("figX", "A test table")
+        res.add(app="a", value=1.2345, flag="yes")
+        res.add(app="bb", value=float("nan"), flag="no")
+        res.notes.append("a note")
+        return res
+
+    def test_render_table(self, result):
+        text = render_table(result)
+        assert "figX: A test table" in text
+        assert "1.234" in text
+        assert "-" in text  # NaN renders as a dash
+        assert "note: a note" in text
+
+    def test_render_markdown(self, result):
+        md = render_markdown(result)
+        assert md.startswith("### figX")
+        assert "| app | value | flag |" in md
+        assert "*a note*" in md
+
+    def test_render_empty(self):
+        empty = ExperimentResult("e", "Empty")
+        assert "(no rows)" in render_table(empty)
+        assert "(no rows)" in render_markdown(empty)
+
+    def test_series_extraction(self, result):
+        assert result.series("app") == ["a", "bb"]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table1" in out
+
+    def test_run_static_tables(self, capsys):
+        assert cli_main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory management types" in out
+        assert "regenerated in" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])

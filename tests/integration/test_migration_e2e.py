@@ -1,0 +1,88 @@
+"""Integration: end-to-end access-counter migration behaviour (Section 6).
+
+The SRAD timeline of Figure 10 at paper scale: the system version's
+iterative compute phase migrates the CPU-initialised image to GPU memory
+over several iterations and then outperforms the managed version, with no
+GPU-to-CPU migration ever occurring.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.porting import MemoryMode
+from repro.core.runtime import GraceHopperSystem
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture(scope="module")
+def srad_runs():
+    results = {}
+    for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+        gh = GraceHopperSystem(
+            SystemConfig.paper_gh200(page_size=65536, migration_enable=True)
+        )
+        results[mode] = (get_application("srad").run(gh, mode), gh)
+    return results
+
+
+class TestSradMigrationTimeline:
+    def test_system_first_iteration_spike(self, srad_runs):
+        result, _ = srad_runs[MemoryMode.SYSTEM]
+        times = result.iteration_times
+        assert times[0] > 3 * times[1]
+
+    def test_system_c2c_reads_decay_to_zero(self, srad_runs):
+        result, _ = srad_runs[MemoryMode.SYSTEM]
+        c2c = [t["c2c_read_bytes"] for t in result.iteration_traffic]
+        assert c2c[0] > 0
+        assert all(b < c2c[0] * 0.05 for b in c2c[5:])
+
+    def test_system_gpu_reads_stabilise(self, srad_runs):
+        result, _ = srad_runs[MemoryMode.SYSTEM]
+        gpu = [t["gpu_read_bytes"] for t in result.iteration_traffic]
+        steady = gpu[5:]
+        assert max(steady) - min(steady) < 0.05 * max(steady)
+        assert gpu[-1] > gpu[0]
+
+    def test_system_beats_managed_in_steady_state(self, srad_runs):
+        sys_t = srad_runs[MemoryMode.SYSTEM][0].iteration_times
+        mng_t = srad_runs[MemoryMode.MANAGED][0].iteration_times
+        assert all(s < m for s, m in zip(sys_t[5:], mng_t[5:]))
+
+    def test_system_slower_than_managed_during_ramp(self, srad_runs):
+        sys_t = srad_runs[MemoryMode.SYSTEM][0].iteration_times
+        mng_steady = srad_runs[MemoryMode.MANAGED][0].iteration_times[5]
+        assert sys_t[1] > mng_steady
+
+    def test_no_gpu_to_cpu_migration_in_system_version(self, srad_runs):
+        _, gh = srad_runs[MemoryMode.SYSTEM]
+        assert gh.counters.total.pages_migrated_d2h == 0
+
+    def test_managed_first_iteration_migrates(self, srad_runs):
+        result, gh = srad_runs[MemoryMode.MANAGED]
+        assert result.iteration_times[0] > 2 * result.iteration_times[1]
+        assert gh.counters.total.managed_far_faults > 0
+
+    def test_managed_reads_from_gpu_even_in_iter1(self, srad_runs):
+        result, _ = srad_runs[MemoryMode.MANAGED]
+        first = result.iteration_traffic[0]
+        assert first["gpu_read_bytes"] > 0
+        assert first["c2c_read_bytes"] < first["gpu_read_bytes"] * 0.05
+
+
+class TestThresholdTuning:
+    def test_higher_threshold_delays_migration(self):
+        """Users can tune the threshold to delay migrations (Section 5.2)."""
+        migrated = {}
+        for threshold in (256, 1 << 20):
+            gh = GraceHopperSystem(
+                SystemConfig.paper_gh200(
+                    page_size=65536,
+                    migration_enable=True,
+                    migration_threshold=threshold,
+                )
+            )
+            get_application("srad", iterations=4).run(gh, MemoryMode.SYSTEM)
+            migrated[threshold] = gh.counters.total.pages_migrated_h2d
+        assert migrated[1 << 20] == 0
+        assert migrated[256] > 0

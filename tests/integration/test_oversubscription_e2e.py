@@ -1,0 +1,80 @@
+"""Integration: oversubscription mechanics (Sections 3.2 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.core.kernels import ArrayAccess
+from repro.core.porting import MemoryMode
+from repro.core.runtime import GraceHopperSystem
+from repro.sim.config import Location, MiB, SystemConfig
+
+
+def scaled_system(**overrides):
+    return GraceHopperSystem(
+        SystemConfig.scaled(1 / 64, page_size=4096, **overrides)
+    )
+
+
+class TestBalloonSetup:
+    def test_ratio_computation_matches_paper_definition(self):
+        gh = scaled_system()
+        free0 = gh.free_gpu_memory()
+        gh.install_balloon(free0 // 2)
+        m_gpu = gh.free_gpu_memory()
+        m_peak = int(m_gpu * 1.5)
+        assert gh.oversubscription_ratio(m_peak) == pytest.approx(1.5, rel=0.01)
+
+    def test_system_memory_spills_under_balloon(self):
+        gh = scaled_system()
+        gh.install_balloon(gh.free_gpu_memory() - 8 * MiB)
+        arr = gh.malloc(np.uint8, (32 * MiB,))
+        gh.launch_kernel("touch", [ArrayAccess.write_(arr)])
+        assert arr.alloc.pages_at(Location.GPU) > 0
+        assert arr.alloc.pages_at(Location.CPU) > 0
+
+    def test_spilled_pages_are_accessed_remotely_not_migrated(self):
+        gh = scaled_system(migration_enable=False)
+        gh.install_balloon(gh.free_gpu_memory() - 8 * MiB)
+        arr = gh.malloc(np.uint8, (32 * MiB,))
+        gh.launch_kernel("touch", [ArrayAccess.write_(arr)])
+        rec = gh.launch_kernel("read", [ArrayAccess.read(arr)])
+        assert rec.result.remote_bytes > 0
+        assert gh.counters.total.pages_evicted == 0
+
+
+class TestManagedUnderOversubscription:
+    def test_managed_thrash_produces_eviction_traffic(self):
+        gh = scaled_system()
+        gh.install_balloon(gh.free_gpu_memory() - 8 * MiB)
+        arr = gh.cuda_malloc_managed(np.uint8, (32 * MiB,))
+        gh.cpu_phase("init", [ArrayAccess.write_(arr)])
+        gh.launch_kernel("sweep", [ArrayAccess.read(arr)])
+        assert gh.counters.total.eviction_bytes > 0
+
+    def test_system_compute_degrades_more_gracefully_than_managed(self):
+        times = {}
+        for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+            gh = scaled_system(migration_enable=False)
+            app = get_application("pathfinder", scale=1 / 64)
+            target_free = int(app.working_set_bytes() / 2.0)
+            gh.install_balloon(max(0, gh.free_gpu_memory() - target_free))
+            result = app.run(gh, mode)
+            times[mode] = result.phases.compute
+        assert times[MemoryMode.SYSTEM] < times[MemoryMode.MANAGED]
+
+
+class TestNaturalOversubscriptionQv:
+    def test_statevector_beyond_gpu_capacity_is_remote_mapped(self):
+        gh = scaled_system(migration_enable=False)
+        # 1/64-scaled GPU is 1.5 GiB; 28 scaled qubits = 2 GiB statevector.
+        qubits = 28 - 6
+        app = get_application("qiskit", qubits=qubits + 6 - 6)
+        # Build directly at a size beyond scaled GPU capacity.
+        sv_bytes = 8 << app.qubits
+        while sv_bytes <= gh.mem.physical.gpu.capacity:
+            app = get_application("qiskit", qubits=app.qubits + 1)
+            sv_bytes = 8 << app.qubits
+        result = app.run(gh, MemoryMode.MANAGED)
+        assert gh.counters.total.c2c_read_bytes > 0
+        assert result.sub_phases["computation"] > 0

@@ -1,0 +1,82 @@
+"""Integration: the Quantum Volume application's three back-ends."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.porting import MemoryMode
+from repro.core.runtime import GraceHopperSystem
+from repro.sim.config import MiB, SystemConfig
+
+
+def small_system(**overrides):
+    return GraceHopperSystem(
+        SystemConfig.scaled(1 / 1024, page_size=65536, **overrides)
+    )
+
+
+class TestChunkedPipeline:
+    def test_explicit_goes_chunked_beyond_gpu_capacity(self):
+        gh = small_system()
+        # scaled GPU = 96 MiB; 25 scaled qubits = 256 MiB statevector.
+        app = get_application("qiskit", qubits=25, chunk_bytes=16 * MiB)
+        result = app.run(gh, MemoryMode.EXPLICIT)
+        assert app._chunked
+        assert gh.counters.total.explicit_copy_bytes > app.sv_bytes
+        assert result.sub_phases["computation"] > 0
+
+    def test_explicit_stays_resident_when_it_fits(self):
+        gh = small_system()
+        app = get_application("qiskit", qubits=20)
+        app.run(gh, MemoryMode.EXPLICIT)
+        assert not app._chunked
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            get_application("qiskit", qubits=10, chunk_bytes=2)
+
+    def test_pipeline_overlap_bounds_runtime(self):
+        """The double-buffered pipeline is bounded by the slower DMA
+        direction, not the serial sum of both copies."""
+        gh = small_system()
+        app = get_application("qiskit", qubits=25, chunk_bytes=16 * MiB)
+        result = app.run(gh, MemoryMode.EXPLICIT)
+        sweeps = app.depth * 2
+        serial = sweeps * app.sv_bytes * (
+            1 / gh.config.c2c_h2d_bandwidth + 1 / gh.config.c2c_d2h_bandwidth
+        )
+        bound = sweeps * app.sv_bytes / gh.config.c2c_d2h_bandwidth
+        assert result.sub_phases["computation"] < serial
+        assert result.sub_phases["computation"] >= bound * 0.9
+
+
+class TestManagedOversubscribedQv:
+    def test_prefetch_variant_beats_plain_managed(self):
+        times = {}
+        for prefetch in (False, True):
+            gh = small_system()
+            app = get_application("qiskit", qubits=25, prefetch=prefetch)
+            result = app.run(gh, MemoryMode.MANAGED)
+            times[prefetch] = result.sub_phases["computation"]
+        assert times[True] < 0.6 * times[False]
+
+    def test_no_compute_phase_c2c_after_prefetch(self):
+        gh = small_system()
+        app = get_application("qiskit", qubits=25, prefetch=True)
+        app.run(gh, MemoryMode.MANAGED)
+        layer_recs = [
+            r for r in gh.counters.kernel_records if "layer" in r.kernel
+        ]
+        c2c = sum(
+            r.counters.c2c_read_bytes + r.counters.c2c_write_bytes
+            for r in layer_recs
+        )
+        assert c2c == 0
+
+    def test_system_version_runs_oversubscribed(self):
+        """Unlike the real testbed (where the 34-qubit system run failed),
+        the simulator executes it, spilling to CPU memory."""
+        gh = small_system()
+        app = get_application("qiskit", qubits=25)
+        result = app.run(gh, MemoryMode.SYSTEM)
+        assert gh.counters.total.c2c_read_bytes > 0
+        assert result.reported_total > 0

@@ -1,0 +1,60 @@
+"""Integration: capacity scaling preserves the ratio structure.
+
+The benchmark harness's ``--scale`` claim: shrinking problems and machine
+capacities together preserves oversubscription ratios and page-count
+ratios, so qualitative shapes survive scaling.
+"""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.porting import MemoryMode
+from repro.bench.harness import make_config, run_app
+
+
+class TestScaledRatios:
+    def test_gpu_to_problem_ratio_preserved(self):
+        for scale in (1.0, 1 / 16, 1 / 64):
+            cfg = make_config(scale)
+            app = get_application("hotspot", scale=scale)
+            ratio = app.working_set_bytes() / cfg.gpu_memory_bytes
+            if scale == 1.0:
+                base = ratio
+            else:
+                assert ratio == pytest.approx(base, rel=0.15)
+
+    def test_page_count_ratio_is_scale_free(self):
+        for scale in (1.0, 1 / 64):
+            a4 = get_application("srad", scale=scale)
+            cfg4 = make_config(scale, page_size=4096)
+            cfg64 = make_config(scale, page_size=65536)
+            assert cfg4.pages_for(a4.working_set_bytes()) == pytest.approx(
+                16 * cfg64.pages_for(a4.working_set_bytes()), rel=0.01
+            )
+
+    def test_fig3_class_split_survives_scaling(self):
+        """The headline system-vs-managed split holds at 1/64 scale."""
+        times = {}
+        for name in ("pathfinder", "srad"):
+            for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+                result, _ = run_app(
+                    name, mode, scale=1 / 64, page_size=65536, migration=False
+                )
+                times[(name, mode)] = result.reported_total
+        # pathfinder: system wins; srad: managed wins — at any scale.
+        assert times[("pathfinder", MemoryMode.SYSTEM)] < (
+            times[("pathfinder", MemoryMode.MANAGED)]
+        )
+        assert times[("srad", MemoryMode.MANAGED)] < (
+            times[("srad", MemoryMode.SYSTEM)]
+        )
+
+    def test_fig10_ramp_survives_scaling(self):
+        result, _ = run_app(
+            "srad", MemoryMode.SYSTEM, scale=1 / 16, page_size=65536,
+            migration=True,
+        )
+        t = result.iteration_times
+        assert t[0] > t[1] > t[-1]
+        c2c = [x["c2c_read_bytes"] for x in result.iteration_traffic]
+        assert c2c[0] > 0 and c2c[-1] < c2c[0] * 0.05

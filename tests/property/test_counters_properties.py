@@ -1,0 +1,75 @@
+"""Property tests: the lazy AccessCounters equal a naive dense model."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.pageset import PageSet
+from repro.mem.pagetable import AccessCounters
+
+N_PAGES = 64
+
+ops = st.lists(
+    st.one_of(
+        # (kind, pageset-spec, amount)
+        st.tuples(
+            st.just("add_full"), st.just(None), st.integers(1, 500)
+        ),
+        st.tuples(
+            st.just("add_range"),
+            st.tuples(st.integers(0, N_PAGES), st.integers(0, N_PAGES)),
+            st.integers(1, 500),
+        ),
+        st.tuples(
+            st.just("reset_range"),
+            st.tuples(st.integers(0, N_PAGES), st.integers(0, N_PAGES)),
+            st.just(0),
+        ),
+        st.tuples(st.just("reset_full"), st.just(None), st.just(0)),
+    ),
+    max_size=20,
+)
+
+
+def to_pageset(spec):
+    if spec is None:
+        return PageSet.full(N_PAGES)
+    lo, hi = min(spec), max(spec)
+    return PageSet.range(lo, hi)
+
+
+@given(ops, st.integers(1, 1000))
+def test_counters_match_dense_reference(op_list, threshold):
+    lazy = AccessCounters(N_PAGES)
+    dense = np.zeros(N_PAGES, dtype=np.int64)
+    for kind, spec, amount in op_list:
+        ps = to_pageset(spec)
+        if kind.startswith("add"):
+            lazy.add(ps, amount)
+            if ps.count:
+                dense[ps.start : ps.stop] += amount
+        else:
+            lazy.reset(ps)
+            if ps.count:
+                dense[ps.start : ps.stop] = 0
+
+    for page in range(0, N_PAGES, 7):
+        assert lazy.value(page) == dense[page]
+
+    crossed = lazy.crossed(PageSet.full(N_PAGES), threshold)
+    expect = set(np.flatnonzero(dense >= threshold).tolist())
+    assert set(int(i) for i in crossed.indices()) == expect
+
+
+@given(
+    st.lists(st.integers(1, 100), min_size=1, max_size=10),
+    st.integers(1, 500),
+)
+def test_uniform_adds_never_materialise(amounts, threshold):
+    c = AccessCounters(N_PAGES)
+    for a in amounts:
+        c.add(PageSet.full(N_PAGES), a)
+    assert c.extra is None
+    assert c.base == sum(amounts)
+    crossed = c.crossed(PageSet.full(N_PAGES), threshold)
+    assert crossed.count in (0, N_PAGES)

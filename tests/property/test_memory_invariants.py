@@ -1,0 +1,105 @@
+"""Property tests: conservation invariants of the memory model.
+
+Whatever sequence of accesses is applied, (a) an allocation's per-location
+page counts always partition its pages, and (b) physical-pool accounting
+equals the sum of resident bytes across live allocations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.coherence import AccessShape
+from repro.mem.pageset import PageSet
+from repro.mem.pagetable import AllocKind
+from repro.mem.subsystem import MemorySubsystem
+from repro.profiling.counters import HardwareCounters
+from repro.sim.config import Location, MiB, Processor, SystemConfig
+
+KINDS = [AllocKind.SYSTEM, AllocKind.MANAGED]
+
+access_ops = st.lists(
+    st.tuples(
+        st.sampled_from([Processor.CPU, Processor.GPU]),
+        st.integers(0, 63),  # page range start
+        st.integers(1, 64),  # page count
+        st.booleans(),  # write
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def check_conservation(mem: MemorySubsystem, allocs):
+    for alloc in allocs:
+        counts = [alloc.pages_at(loc) for loc in Location]
+        assert sum(counts) == alloc.n_pages
+        assert min(counts) >= 0
+    # Pool accounting equals resident bytes over live allocations.
+    cpu_bytes = sum(
+        a.bytes_at(Location.CPU) + a.bytes_at(Location.CPU_PINNED)
+        for a in allocs
+    )
+    gpu_bytes = sum(a.bytes_at(Location.GPU) for a in allocs)
+    tags_cpu = sum(
+        v for k, v in mem.physical.cpu.by_tag.items()
+        if k.startswith(("sys:", "mng:"))
+    )
+    tags_gpu = sum(
+        v for k, v in mem.physical.gpu.by_tag.items()
+        if k.startswith(("sys:", "mng:"))
+    )
+    assert tags_cpu == cpu_bytes
+    assert tags_gpu == gpu_bytes
+
+
+@settings(deadline=None, max_examples=40)
+@given(st.sampled_from(KINDS), access_ops)
+def test_access_sequences_conserve_pages(kind, op_list):
+    cfg = SystemConfig.scaled(1 / 256, page_size=65536)
+    mem = MemorySubsystem(cfg, HardwareCounters())
+    alloc = mem.allocate(kind, 4 * MiB)
+    shape = AccessShape(useful_bytes=cfg.system_page_size)
+    now = 0.0
+    for proc, start, count, write in op_list:
+        pages = PageSet.range(start, start + count).clip(alloc.n_pages)
+        mem.access(proc, alloc, pages, shape, write=write, now=now)
+        mem.begin_epoch()
+        now += 0.001
+        check_conservation(mem, [alloc])
+    freed = mem.free(alloc)
+    assert freed >= 0
+    assert mem.physical.cpu.by_tag.get(f"sys:{alloc.aid}", 0) == 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(access_ops, access_ops)
+def test_two_allocations_interleaved(ops_a, ops_b):
+    cfg = SystemConfig.scaled(1 / 256, page_size=65536)
+    mem = MemorySubsystem(cfg, HardwareCounters())
+    a = mem.allocate(AllocKind.SYSTEM, 4 * MiB)
+    b = mem.allocate(AllocKind.MANAGED, 4 * MiB)
+    shape = AccessShape(useful_bytes=cfg.system_page_size)
+    now = 0.0
+    for (pa, sa, ca, wa), (pb, sb, cb, wb) in zip(ops_a, ops_b):
+        mem.access(pa, a, PageSet.range(sa, sa + ca).clip(a.n_pages), shape,
+                   write=wa, now=now)
+        mem.access(pb, b, PageSet.range(sb, sb + cb).clip(b.n_pages), shape,
+                   write=wb, now=now)
+        now += 0.001
+        check_conservation(mem, [a, b])
+
+
+@settings(deadline=None, max_examples=30)
+@given(access_ops)
+def test_rss_equals_cpu_resident(op_list):
+    cfg = SystemConfig.scaled(1 / 256, page_size=65536)
+    mem = MemorySubsystem(cfg, HardwareCounters())
+    alloc = mem.allocate(AllocKind.SYSTEM, 4 * MiB)
+    shape = AccessShape(useful_bytes=cfg.system_page_size)
+    for proc, start, count, write in op_list:
+        pages = PageSet.range(start, start + count).clip(alloc.n_pages)
+        mem.access(proc, alloc, pages, shape, write=write, now=0.0)
+        assert mem.process_rss_bytes() == (
+            alloc.bytes_at(Location.CPU) + alloc.bytes_at(Location.CPU_PINNED)
+        )

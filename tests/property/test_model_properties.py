@@ -1,0 +1,67 @@
+"""Property tests: monotonicity and sanity of the cost models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.quantum.statevector import Statevector, random_su4
+from repro.mem.coherence import AccessShape, wire_bytes
+from repro.sim.config import Processor, SystemConfig
+from repro.interconnect.nvlink import NvlinkC2C
+
+
+@given(
+    st.integers(1, 1 << 20),
+    st.integers(3, 7).map(lambda p: 2**p),  # element size 8..128
+    st.floats(0.01, 1.0),
+)
+def test_wire_bytes_at_least_useful_lines(useful, element, density):
+    shape = AccessShape(useful_bytes=useful, element_bytes=element, density=density)
+    wire = wire_bytes(shape, 128)
+    # Never less than one cacheline, never more than span + one line.
+    assert wire >= min(useful, 128)
+    assert wire <= int(useful / density) + 256
+
+
+@given(st.floats(0.01, 0.99), st.floats(0.01, 0.99))
+def test_wire_bytes_monotonic_in_density(d1, d2):
+    lo, hi = sorted((d1, d2))
+    sparse = AccessShape(useful_bytes=4096, element_bytes=8, density=lo)
+    dense = AccessShape(useful_bytes=4096, element_bytes=8, density=hi)
+    assert wire_bytes(dense, 128) <= wire_bytes(sparse, 128)
+
+
+@given(st.integers(1, 1 << 30), st.integers(1, 1 << 30))
+def test_streaming_time_superadditive_in_bytes(a, b):
+    """One transfer of a+b is never slower than two of a and b (latency)."""
+    cfg = SystemConfig()
+    link = NvlinkC2C(cfg)
+    combined = link.streaming_time(a + b, Processor.CPU, Processor.GPU)
+    split = link.streaming_time(a, Processor.CPU, Processor.GPU) + (
+        link.streaming_time(b, Processor.CPU, Processor.GPU)
+    )
+    assert combined <= split + 1e-12
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 10**6), st.lists(st.integers(0, 10**6), max_size=8))
+def test_pages_for_is_monotonic(base, deltas):
+    cfg = SystemConfig()
+    sizes = [base] + [base + d for d in deltas]
+    sizes.sort()
+    pages = [cfg.pages_for(max(s, 1)) for s in sizes]
+    assert pages == sorted(pages)
+
+
+@settings(deadline=None, max_examples=15)
+@given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+def test_random_circuits_preserve_unitarity(n_qubits, seed):
+    rng = np.random.default_rng(seed)
+    sv = Statevector(n_qubits)
+    for _ in range(5):
+        q = rng.choice(n_qubits, size=2, replace=False)
+        sv.apply_two(random_su4(rng), int(q[0]), int(q[1]))
+    assert abs(sv.norm() - 1.0) < 1e-3
+    p = sv.probabilities()
+    assert (p >= 0).all()
+    assert abs(p.sum() - 1.0) < 1e-4

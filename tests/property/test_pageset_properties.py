@@ -1,0 +1,81 @@
+"""Property-based tests: PageSet algebra matches Python set semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.pageset import PageSet
+
+MAX_PAGE = 512
+
+page_sets = st.one_of(
+    st.tuples(
+        st.integers(0, MAX_PAGE), st.integers(0, MAX_PAGE)
+    ).map(lambda t: PageSet.range(min(t), max(t))),
+    st.lists(st.integers(0, MAX_PAGE - 1), max_size=64).map(PageSet.of),
+)
+
+
+def as_set(ps: PageSet) -> set[int]:
+    return set(int(i) for i in ps.indices())
+
+
+@given(page_sets, page_sets)
+def test_intersect_matches_set_semantics(a, b):
+    assert as_set(a.intersect(b)) == as_set(a) & as_set(b)
+
+
+@given(page_sets, page_sets)
+def test_union_matches_set_semantics(a, b):
+    assert as_set(a.union(b)) == as_set(a) | as_set(b)
+
+
+@given(page_sets, page_sets)
+def test_difference_matches_set_semantics(a, b):
+    assert as_set(a.difference(b)) == as_set(a) - as_set(b)
+
+
+@given(page_sets)
+def test_count_matches_cardinality(a):
+    assert a.count == len(as_set(a))
+
+
+@given(page_sets, st.integers(0, 600))
+def test_take_first_is_prefix_of_sorted(a, k):
+    taken = a.take_first(k)
+    expect = sorted(as_set(a))[:k]
+    assert sorted(as_set(taken)) == expect
+
+
+@given(page_sets, st.integers(1, 64))
+def test_align_down_is_superset_covering_same_blocks(a, granule):
+    aligned = a.align_down(granule)
+    assert as_set(a) <= as_set(aligned)
+    assert set(map(int, a.blocks(granule))) == set(map(int, aligned.blocks(granule)))
+    # Every aligned page belongs to a block that contains an original page.
+    orig_blocks = {p // granule for p in as_set(a)}
+    assert all(p // granule in orig_blocks for p in as_set(aligned))
+
+
+@given(page_sets, st.integers(0, MAX_PAGE))
+def test_clip_bounds(a, n):
+    clipped = a.clip(n)
+    assert all(0 <= p < n for p in as_set(clipped))
+    assert as_set(clipped) == {p for p in as_set(a) if p < n}
+
+
+@given(page_sets)
+def test_indices_sorted_unique(a):
+    idx = a.indices()
+    assert (np.diff(idx) > 0).all() if idx.size > 1 else True
+
+
+@given(page_sets, st.integers(1, 64))
+def test_where_partition(a, seed_mod):
+    """where(state, v) over all values partitions the page set."""
+    state = np.arange(MAX_PAGE + 1, dtype=np.int8) % 3
+    parts = [as_set(a.where(state, v)) for v in range(3)]
+    assert set().union(*parts) == as_set(a)
+    for i in range(3):
+        for j in range(i + 1, 3):
+            assert not parts[i] & parts[j]

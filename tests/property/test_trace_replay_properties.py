@@ -1,0 +1,85 @@
+"""Property tests: trace record/replay is faithful and deterministic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import ArrayAccess
+from repro.core.runtime import GraceHopperSystem
+from repro.mem.pageset import PageSet
+from repro.profiling.trace import AccessTrace, TraceRecorder, replay
+from repro.sim.config import SystemConfig
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["cpu", "gpu"]),
+        st.integers(0, 60),  # page start
+        st.integers(1, 30),  # page count
+        st.booleans(),  # write
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def fresh():
+    return GraceHopperSystem(
+        SystemConfig.scaled(1 / 256, page_size=65536, migration_enable=False)
+    )
+
+
+def run_ops(gh, op_list):
+    x = gh.malloc(np.uint8, (4 * 1024 * 1024,), name="x")
+    for proc, start, count, write in op_list:
+        pages = PageSet.range(start, start + count).clip(x.n_pages)
+        acc = (ArrayAccess.write_ if write else ArrayAccess.read)(x, pages)
+        if proc == "cpu":
+            gh.cpu_phase("p", [acc])
+        else:
+            gh.launch_kernel("k", [acc])
+
+
+@settings(deadline=None, max_examples=25)
+@given(ops)
+def test_recorded_batches_match_issued_batches(op_list):
+    gh = fresh()
+    rec = TraceRecorder(gh.mem)
+    with rec:
+        run_ops(gh, op_list)
+    # Every issued op appears, in order, with matching processor/rw.
+    assert len(rec.trace) == len(op_list)
+    for record, (proc, _, _, write) in zip(rec.trace, op_list):
+        assert record.processor == proc
+        assert record.write == write
+
+
+@settings(deadline=None, max_examples=20)
+@given(ops)
+def test_replay_traffic_is_deterministic(op_list):
+    gh = fresh()
+    rec = TraceRecorder(gh.mem)
+    with rec:
+        run_ops(gh, op_list)
+    summaries = []
+    for _ in range(2):
+        target = fresh()
+        summaries.append(replay(rec.trace, target))
+    assert summaries[0] == summaries[1]
+
+
+@settings(deadline=None, max_examples=15)
+@given(ops)
+def test_json_roundtrip_preserves_replay(op_list):
+    import tempfile
+    from pathlib import Path
+
+    gh = fresh()
+    rec = TraceRecorder(gh.mem)
+    with rec:
+        run_ops(gh, op_list)
+    with tempfile.TemporaryDirectory() as d:
+        path = rec.trace.save(Path(d) / "t.jsonl")
+        loaded = AccessTrace.load(path)
+    direct = replay(rec.trace, fresh())
+    via_json = replay(loaded, fresh())
+    assert direct == via_json

@@ -1,0 +1,147 @@
+"""Unit tests for the memory-management advisor."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import (
+    InitSide,
+    Recommendation,
+    WorkloadProfile,
+    profile_from_trace,
+    recommend,
+)
+from repro.core.kernels import ArrayAccess
+from repro.core.porting import MemoryMode
+from repro.core.runtime import GraceHopperSystem
+from repro.profiling.trace import TraceRecorder
+from repro.sim.config import SystemConfig
+
+
+def prof(**kw):
+    defaults = dict(
+        init_side=InitSide.CPU,
+        reuse_factor=1.0,
+        oversubscription_ratio=0.5,
+    )
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+class TestValidation:
+    def test_rejects_negative_reuse(self):
+        with pytest.raises(ValueError):
+            prof(reuse_factor=-1)
+
+    def test_rejects_zero_oversubscription(self):
+        with pytest.raises(ValueError):
+            prof(oversubscription_ratio=0)
+
+    def test_rejects_bad_irregularity(self):
+        with pytest.raises(ValueError):
+            prof(irregularity=2.0)
+
+
+class TestDecisionSurface:
+    def test_cpu_init_streaming_prefers_system(self):
+        rec = recommend(prof(init_side=InitSide.CPU, reuse_factor=1.0))
+        assert rec.mode is MemoryMode.SYSTEM
+
+    def test_gpu_init_prefers_managed(self):
+        rec = recommend(prof(init_side=InitSide.GPU, reuse_factor=2.0))
+        assert rec.mode is MemoryMode.MANAGED
+
+    def test_oversubscription_prefers_system_regardless_of_init(self):
+        rec = recommend(
+            prof(init_side=InitSide.GPU, reuse_factor=8.0,
+                 oversubscription_ratio=1.5)
+        )
+        assert rec.mode is MemoryMode.SYSTEM
+        assert any("prefetch" in o.lower() for o in rec.optimizations)
+
+    def test_low_reuse_system_gets_migration_off(self):
+        rec = recommend(prof(reuse_factor=1.0))
+        assert rec.page_size == 65536
+        assert not rec.migration_enable
+        assert any("4 KB" in r for r in rec.reasons)  # fallback documented
+
+    def test_iterative_system_gets_migration_on(self):
+        rec = recommend(
+            prof(init_side=InitSide.MIXED, reuse_factor=12.0,
+                 gpu_first_touch_fraction=0.1)
+        )
+        assert rec.mode is MemoryMode.SYSTEM
+        assert rec.migration_enable
+        assert rec.page_size == 65536
+
+    def test_gpu_dominated_mixed_init_prefers_managed(self):
+        rec = recommend(
+            prof(init_side=InitSide.MIXED, reuse_factor=12.0,
+                 gpu_first_touch_fraction=0.8)
+        )
+        assert rec.mode is MemoryMode.MANAGED
+
+    def test_gpu_init_with_system_mode_gets_hostregister_hint(self):
+        # GPU-init but streaming (reuse < 1) -> system mode with the
+        # Section 5.1.2 pre-population mitigation.
+        rec = recommend(prof(init_side=InitSide.GPU, reuse_factor=0.5))
+        assert rec.mode is MemoryMode.SYSTEM
+        assert any("cudaHostRegister" in o for o in rec.optimizations)
+
+    def test_cpu_thrash_warning_for_managed(self):
+        rec = recommend(
+            prof(init_side=InitSide.GPU, reuse_factor=4.0,
+                 cpu_touches_during_compute=True)
+        )
+        assert rec.mode is MemoryMode.MANAGED
+        assert any("thrash" in o for o in rec.optimizations)
+
+    def test_every_reason_cites_the_paper(self):
+        rec = recommend(prof(reuse_factor=5.0, irregularity=0.8))
+        for reason in rec.reasons + rec.optimizations:
+            assert "Section" in reason or "Figure" in reason
+
+    def test_config_overrides(self):
+        rec = recommend(prof(reuse_factor=1.0))
+        overrides = rec.as_config_overrides()
+        cfg = SystemConfig(**overrides)
+        assert cfg.system_page_size == rec.page_size
+        assert cfg.migration_enable == rec.migration_enable
+
+
+class TestProfileFromTrace:
+    def _trace(self, gpu_init=False):
+        gh = GraceHopperSystem(SystemConfig.scaled(1 / 256, page_size=65536))
+        rec = TraceRecorder(gh.mem)
+        with rec:
+            x = gh.malloc(np.float32, (1 << 18,), name="x")
+            if gpu_init:
+                gh.launch_kernel("init", [ArrayAccess.write_(x)])
+            else:
+                gh.cpu_phase("init", [ArrayAccess.write_(x)])
+            for i in range(4):
+                gh.launch_kernel(f"sweep{i}", [ArrayAccess.read(x)])
+        return rec.trace
+
+    def test_detects_cpu_init(self):
+        profile = profile_from_trace(self._trace(gpu_init=False))
+        assert profile.init_side is InitSide.CPU
+
+    def test_detects_gpu_init(self):
+        profile = profile_from_trace(self._trace(gpu_init=True))
+        assert profile.init_side is InitSide.GPU
+
+    def test_reuse_estimate(self):
+        profile = profile_from_trace(self._trace())
+        assert profile.reuse_factor > 2  # four sweeps of the same buffer
+
+    def test_empty_trace_rejected(self):
+        from repro.profiling.trace import AccessTrace
+
+        with pytest.raises(ValueError):
+            profile_from_trace(AccessTrace())
+
+    def test_end_to_end_recommendation(self):
+        profile = profile_from_trace(self._trace(gpu_init=False))
+        rec = recommend(profile)
+        assert isinstance(rec, Recommendation)
+        assert rec.mode is MemoryMode.SYSTEM

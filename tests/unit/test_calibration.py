@@ -1,0 +1,60 @@
+"""Unit tests: the default configuration satisfies every paper anchor."""
+
+import pytest
+
+from repro.sim.calibration import (
+    Anchor,
+    calibration_report,
+    check_calibration,
+    derive_anchors,
+)
+from repro.sim.config import SystemConfig
+
+
+class TestDefaultCalibration:
+    def test_all_anchors_pass_for_paper_config(self):
+        failures = check_calibration(SystemConfig.paper_gh200())
+        assert not failures, calibration_report(SystemConfig.paper_gh200())
+
+    def test_anchor_list_is_complete(self):
+        names = {a.name for a in derive_anchors()}
+        assert {
+            "hbm_bandwidth",
+            "cpu_bandwidth",
+            "c2c_h2d",
+            "c2c_d2h",
+            "hostregister_srad_image_s",
+            "fig9_init_pagesize_ratio",
+            "fig13_thrash_amplification",
+            "uvm_migration_rate_gb_s",
+            "gpu_capacity",
+            "cpu_capacity",
+            "migration_threshold",
+        } <= names
+
+    def test_report_renders(self):
+        report = calibration_report()
+        assert "calibration anchors" in report
+        assert "FAIL" not in report
+
+
+class TestDetuning:
+    def test_detuned_bandwidth_is_caught(self):
+        cfg = SystemConfig(hbm_bandwidth=2.0e12)
+        failing = {a.name for a in check_calibration(cfg)}
+        assert "hbm_bandwidth" in failing
+
+    def test_detuned_fault_cost_breaks_fig9_ratio(self):
+        cfg = SystemConfig(gpu_replayable_fault_cost=50e-6)
+        failing = {a.name for a in check_calibration(cfg)}
+        assert "fig9_init_pagesize_ratio" in failing
+
+    def test_detuned_thrash_ratio_breaks_fig13(self):
+        cfg = SystemConfig(managed_eviction_thrash_per_page_ratio=0.01)
+        failing = {a.name for a in check_calibration(cfg)}
+        assert "fig13_thrash_amplification" in failing
+
+    def test_anchor_ok_logic(self):
+        assert Anchor("x", 100.0, 105.0, 0.10, "s").ok
+        assert not Anchor("x", 100.0, 120.0, 0.10, "s").ok
+        assert Anchor("x", 0.0, 0.0, 0.0, "s").ok

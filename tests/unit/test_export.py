@@ -1,0 +1,73 @@
+"""Unit tests for experiment-result export (JSON/CSV round trips)."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.bench.export import (
+    load_json,
+    result_to_dict,
+    write_csv,
+    write_json,
+)
+from repro.bench.harness import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    res = ExperimentResult("figX", "Export test")
+    res.add(app="a", value=1.5, count=3)
+    res.add(app="b", value=float("nan"), count=4)
+    res.notes.append("a note")
+    return res
+
+
+class TestJson:
+    def test_roundtrip(self, result, tmp_path):
+        path = write_json([result], tmp_path / "out.json")
+        loaded = load_json(path)
+        assert len(loaded) == 1
+        assert loaded[0].exp_id == "figX"
+        assert loaded[0].rows[0]["value"] == 1.5
+        assert loaded[0].notes == ["a note"]
+
+    def test_nan_becomes_null(self, result, tmp_path):
+        path = write_json([result], tmp_path / "out.json")
+        raw = json.loads(path.read_text())
+        assert raw["experiments"][0]["rows"][1]["value"] is None
+
+    def test_result_to_dict_columns(self, result):
+        d = result_to_dict(result)
+        assert d["columns"] == ["app", "value", "count"]
+
+
+class TestCsv:
+    def test_writes_one_file_per_experiment(self, result, tmp_path):
+        path = write_csv(result, tmp_path / "csvs")
+        assert path.name == "figX.csv"
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "app,value,count"
+        assert lines[1].startswith("a,1.5,3")
+
+    def test_creates_directory(self, result, tmp_path):
+        target = tmp_path / "nested" / "deeper"
+        write_csv(result, target)
+        assert (target / "figX.csv").exists()
+
+
+class TestCliIntegration:
+    def test_json_and_csv_flags(self, tmp_path, capsys):
+        rc = cli_main(
+            [
+                "table1",
+                "--json", str(tmp_path / "r.json"),
+                "--csv-dir", str(tmp_path / "csv"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "r.json").exists()
+        assert (tmp_path / "csv" / "table1.csv").exists()
+        loaded = load_json(tmp_path / "r.json")
+        assert loaded[0].exp_id == "table1"
+        assert len(loaded[0].rows) == 4

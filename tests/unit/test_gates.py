@@ -1,0 +1,127 @@
+"""Unit tests for the gate library and circuit builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.quantum.gates import (
+    CX,
+    CZ,
+    H,
+    S,
+    SDG,
+    SWAP,
+    T,
+    X,
+    Y,
+    Z,
+    Circuit,
+    cphase,
+    crz,
+    ghz_circuit,
+    phase,
+    qft_circuit,
+    rx,
+    ry,
+    rz,
+    u3,
+)
+from repro.apps.quantum.statevector import Statevector
+
+
+def is_unitary(m, tol=1e-6):
+    m = np.asarray(m, dtype=np.complex128)
+    return np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=tol)
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize(
+        "gate", [X, Y, Z, H, S, SDG, T, CX, CZ, SWAP]
+    )
+    def test_constants_are_unitary(self, gate):
+        assert is_unitary(gate)
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, math.pi / 2, math.pi, 5.1])
+    def test_rotations_are_unitary(self, theta):
+        for g in (rx(theta), ry(theta), rz(theta), phase(theta),
+                  crz(theta), cphase(theta), u3(theta, 0.7, 1.1)):
+            assert is_unitary(g)
+
+    def test_pauli_identities(self):
+        assert np.allclose(X @ X, np.eye(2), atol=1e-6)
+        assert np.allclose((H @ Z @ H), X, atol=1e-6)
+        assert np.allclose(S @ S, Z, atol=1e-6)
+        assert np.allclose(T @ T, S, atol=1e-6)
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        g = rx(math.pi)
+        ratio = g / (-1j)
+        assert np.allclose(ratio, X, atol=1e-6)
+
+    def test_u3_generalises_rotations(self):
+        assert np.allclose(u3(0.4, -math.pi / 2, math.pi / 2), rx(0.4), atol=1e-6)
+        assert np.allclose(u3(0.4, 0, 0), ry(0.4), atol=1e-6)
+
+
+class TestCircuitBuilder:
+    def test_fluent_chaining(self):
+        c = Circuit(2).h(0).cx(0, 1).x(1)
+        assert c.depth_ops == 3
+        assert [op.label for op in c.ops] == ["h", "cx", "x"]
+
+    def test_qubit_bounds(self):
+        with pytest.raises(ValueError):
+            Circuit(2).x(2)
+
+    def test_run_fresh_state(self):
+        state = Circuit(1).x(0).run()
+        assert abs(state.amplitudes[1]) == pytest.approx(1.0)
+
+    def test_run_checks_size(self):
+        with pytest.raises(ValueError):
+            Circuit(2).x(0).run(Statevector(3))
+
+    def test_swap_exchanges_amplitudes(self):
+        state = Circuit(2).x(0).swap(0, 1).run()
+        assert abs(state.amplitudes[0b10]) == pytest.approx(1.0)
+
+    def test_cx_equivalence_via_cz(self):
+        """CX = (I (x) H) CZ (I (x) H) on (control, target)."""
+        direct = Circuit(2).h(0).cx(0, 1).run()
+        synth = Circuit(2).h(0).h(1).cz(0, 1).h(1).run()
+        assert np.allclose(direct.amplitudes, synth.amplitudes, atol=1e-6)
+
+
+class TestReferenceCircuits:
+    def test_ghz_state(self):
+        state = ghz_circuit(4).run()
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5, abs=1e-5)
+        assert probs[-1] == pytest.approx(0.5, abs=1e-5)
+        assert probs[1:-1].sum() == pytest.approx(0.0, abs=1e-5)
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_qft_of_zero_state_is_uniform(self, n):
+        state = qft_circuit(n).run()
+        probs = state.probabilities()
+        assert np.allclose(probs, 1 / (1 << n), atol=1e-5)
+
+    def test_qft_matches_dft_matrix(self):
+        n = 3
+        dim = 1 << n
+        # Column k of the QFT unitary is the DFT of basis state |k>.
+        omega = np.exp(2j * math.pi / dim)
+        for k in range(dim):
+            state = Statevector(n, dtype=np.complex128)
+            state.amplitudes[:] = 0
+            state.amplitudes[k] = 1
+            out = qft_circuit(n).run(state)
+            expect = np.array(
+                [omega ** (j * k) for j in range(dim)]
+            ) / math.sqrt(dim)
+            assert np.allclose(out.amplitudes, expect, atol=1e-5)
+
+    def test_qft_norm_preserved(self):
+        state = qft_circuit(6).run()
+        assert state.norm() == pytest.approx(1.0, abs=1e-5)

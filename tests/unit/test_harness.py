@@ -1,0 +1,65 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro import MemoryMode
+from repro.bench.harness import make_config, run_app
+
+
+class TestRunApp:
+    def test_returns_result_and_system(self):
+        result, gh = run_app(
+            "hotspot", MemoryMode.SYSTEM, scale=1 / 64, page_size=65536
+        )
+        assert result.app == "hotspot"
+        assert gh.now > 0
+
+    def test_oversubscription_installs_balloon(self):
+        result, gh = run_app(
+            "hotspot", MemoryMode.SYSTEM, scale=1 / 64, oversubscription=2.0
+        )
+        assert gh._balloon is not None
+
+    def test_oversubscription_validation(self):
+        with pytest.raises(ValueError):
+            run_app("hotspot", MemoryMode.SYSTEM, scale=1 / 64,
+                    oversubscription=0)
+
+    def test_prepare_hook_runs_before_app(self):
+        seen = []
+        run_app(
+            "hotspot", MemoryMode.SYSTEM, scale=1 / 64,
+            prepare=lambda gh: seen.append(gh.now),
+        )
+        assert seen == [0.0]
+
+    def test_config_overrides_apply(self):
+        _, gh = run_app(
+            "hotspot", MemoryMode.SYSTEM, scale=1 / 64,
+            config_overrides={"migration_threshold": 999},
+        )
+        assert gh.config.migration_threshold == 999
+
+    def test_app_kwargs_forwarded(self):
+        result, _ = run_app(
+            "srad", MemoryMode.SYSTEM, scale=1 / 64,
+            app_kwargs={"iterations": 3},
+        )
+        assert len(result.iteration_times) == 3
+
+    def test_profile_flag(self):
+        result, _ = run_app(
+            "hotspot", MemoryMode.SYSTEM, scale=1 / 64, profile=True
+        )
+        assert result.profile is not None
+
+
+class TestMakeConfig:
+    def test_full_scale_is_paper_testbed(self):
+        cfg = make_config(1.0)
+        assert cfg.gpu_memory_bytes == 96 * 1024**3
+
+    def test_overrides_pass_through(self):
+        cfg = make_config(1.0, migration=False, autonuma_enable=True)
+        assert not cfg.migration_enable
+        assert cfg.autonuma_enable

@@ -1,0 +1,99 @@
+"""Unit tests for the optimisation strategies (Sections 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import ArrayAccess
+from repro.core.optimization import (
+    PrepopulateMethod,
+    disable_automatic_migration,
+    enable_automatic_migration,
+    prefetch_working_set,
+    prepopulate_page_table,
+    tune_migration_threshold,
+)
+from repro.core.allocators import (
+    allocator_for,
+    allocator_table,
+    migration_granularity_bytes,
+)
+from repro.core.runtime import GraceHopperSystem
+from repro.mem.pagetable import AllocKind
+from repro.sim.config import Location, MiB, SystemConfig
+
+
+@pytest.fixture
+def gh():
+    return GraceHopperSystem(SystemConfig.scaled(1 / 256, page_size=65536))
+
+
+class TestPrepopulate:
+    def test_host_register_avoids_gpu_fault_storm(self, gh):
+        plain = gh.malloc(np.uint8, (32 * MiB,), name="plain")
+        pre = gh.malloc(np.uint8, (32 * MiB,), name="pre")
+        prepopulate_page_table(gh, pre, PrepopulateMethod.HOST_REGISTER)
+        gh.launch_kernel("warmup", [])
+        k_pre = gh.launch_kernel("pre", [ArrayAccess.write_(pre)])
+        k_plain = gh.launch_kernel("plain", [ArrayAccess.write_(plain)])
+        assert k_pre.result.fault_seconds == 0.0
+        assert k_plain.result.fault_seconds > 0
+
+    def test_preinit_loop_cheaper_than_host_register(self, gh):
+        a = gh.malloc(np.uint8, (32 * MiB,))
+        b = gh.malloc(np.uint8, (32 * MiB,))
+        reg = prepopulate_page_table(gh, a, PrepopulateMethod.HOST_REGISTER)
+        loop = prepopulate_page_table(gh, b, PrepopulateMethod.PREINIT_LOOP)
+        # Same PTE work, minus the CUDA API overhead (Section 5.1.2).
+        assert loop.seconds < reg.seconds
+
+    def test_prepopulated_pages_are_cpu_resident(self, gh):
+        a = gh.malloc(np.uint8, (4 * MiB,))
+        prepopulate_page_table(gh, a)
+        assert a.alloc.is_homogeneous(Location.CPU)
+
+
+class TestPrefetch:
+    def test_prefetch_moves_managed_pages_to_gpu(self, gh):
+        arr = gh.cuda_malloc_managed(np.uint8, (16 * MiB,))
+        gh.cpu_phase("init", [ArrayAccess.write_(arr)])
+        assert arr.alloc.pages_at(Location.CPU) > 0
+        res = prefetch_working_set(gh, [arr])
+        assert res.seconds > 0
+        assert arr.alloc.is_homogeneous(Location.GPU)
+
+    def test_prefetch_rejects_system_memory(self, gh):
+        arr = gh.malloc(np.uint8, (1 * MiB,))
+        with pytest.raises(ValueError):
+            gh.prefetch_to_gpu(arr)
+
+
+class TestMigrationKnobs:
+    def test_threshold_tuning(self, gh):
+        tune_migration_threshold(gh, 1024)
+        assert gh.config.migration_threshold == 1024
+
+    def test_disable_enable(self, gh):
+        disable_automatic_migration(gh)
+        assert not gh.config.migration_enable
+        enable_automatic_migration(gh)
+        assert gh.config.migration_enable
+
+
+class TestAllocatorRegistry:
+    def test_table_has_four_rows(self):
+        assert len(allocator_table()) == 4
+
+    def test_lookup_by_kind(self):
+        info = allocator_for(AllocKind.SYSTEM)
+        assert info.interface == "malloc()"
+        assert info.cache_coherent
+
+    def test_lookup_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            allocator_for(AllocKind.NUMA_CPU)
+
+    def test_migration_granularity(self):
+        cfg = SystemConfig(system_page_size=65536)
+        assert migration_granularity_bytes(AllocKind.SYSTEM, cfg) == 65536
+        assert migration_granularity_bytes(AllocKind.MANAGED, cfg) == 2 * 1024**2
+        assert migration_granularity_bytes(AllocKind.DEVICE, cfg) == 1

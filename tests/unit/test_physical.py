@@ -1,0 +1,82 @@
+"""Unit tests for physical memory pools."""
+
+import pytest
+
+from repro.mem.physical import MemoryPool, OutOfMemoryError, PhysicalMemory
+from repro.sim.config import Location, Processor, SystemConfig
+
+
+@pytest.fixture
+def cfg():
+    return SystemConfig.scaled(1 / 64)
+
+
+class TestMemoryPool:
+    def test_reserve_and_release(self):
+        pool = MemoryPool("p", capacity=1000)
+        pool.reserve(400, tag="a")
+        assert pool.used == 400 and pool.free == 600
+        pool.release(400, tag="a")
+        assert pool.used == 0
+
+    def test_oom(self):
+        pool = MemoryPool("p", capacity=100)
+        with pytest.raises(OutOfMemoryError):
+            pool.reserve(101)
+
+    def test_reserve_up_to_grants_partial(self):
+        pool = MemoryPool("p", capacity=100)
+        assert pool.reserve_up_to(250) == 100
+        assert pool.free == 0
+        assert pool.reserve_up_to(10) == 0
+
+    def test_release_more_than_reserved_under_tag_fails(self):
+        pool = MemoryPool("p", capacity=100)
+        pool.reserve(10, tag="a")
+        pool.reserve(50, tag="b")
+        with pytest.raises(ValueError):
+            pool.release(20, tag="a")
+
+    def test_peak_tracking(self):
+        pool = MemoryPool("p", capacity=100)
+        pool.reserve(80)
+        pool.release(50)
+        pool.reserve(10)
+        assert pool.peak == 80
+
+    def test_negative_sizes_rejected(self):
+        pool = MemoryPool("p", capacity=100)
+        with pytest.raises(ValueError):
+            pool.reserve(-1)
+        with pytest.raises(ValueError):
+            pool.release(-1)
+
+
+class TestPhysicalMemory:
+    def test_driver_baseline_reserved(self, cfg):
+        phys = PhysicalMemory(cfg)
+        assert phys.gpu.used == cfg.gpu_driver_baseline_bytes
+        assert phys.gpu_used_memory() == cfg.gpu_driver_baseline_bytes
+
+    def test_pool_lookup(self, cfg):
+        phys = PhysicalMemory(cfg)
+        assert phys.pool(Processor.GPU) is phys.gpu
+        assert phys.pool(Processor.CPU) is phys.cpu
+        assert phys.pool(Location.GPU) is phys.gpu
+        assert phys.pool(Location.CPU_PINNED) is phys.cpu
+
+    def test_pool_lookup_rejects_unmapped(self, cfg):
+        with pytest.raises(ValueError):
+            PhysicalMemory(cfg).pool(Location.UNMAPPED)
+
+    def test_transfer_moves_accounting(self, cfg):
+        phys = PhysicalMemory(cfg)
+        phys.cpu.reserve(1000, tag="x")
+        phys.transfer(600, Location.CPU, Location.GPU, tag="x")
+        assert phys.cpu.by_tag["x"] == 400
+        assert phys.gpu.by_tag["x"] == 600
+
+    def test_capacities_match_config(self, cfg):
+        phys = PhysicalMemory(cfg)
+        assert phys.cpu.capacity == cfg.cpu_memory_bytes
+        assert phys.gpu.capacity == cfg.gpu_memory_bytes

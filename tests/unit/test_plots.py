@@ -1,0 +1,81 @@
+"""Unit tests for the terminal plot rendering."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.plots import PLOT_SPECS, bar_chart, hbar, render_plot, sparkline
+
+
+class TestHbar:
+    def test_scales_to_peak(self):
+        assert len(hbar(10, 10, width=20)) == 20
+        assert len(hbar(5, 10, width=20)) == 10
+
+    def test_zero_and_negative(self):
+        assert hbar(0, 10) == ""
+        assert hbar(5, 0) == ""
+
+    def test_half_cell(self):
+        assert hbar(5.6, 10, width=10).endswith("▌")
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_handles_nan(self):
+        s = sparkline([1.0, float("nan"), 2.0])
+        assert s[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    @pytest.fixture
+    def result(self):
+        res = ExperimentResult("figX", "t")
+        res.add(app="a", x=1.0, y=2.0)
+        res.add(app="bb", x=4.0, y=float("nan"))
+        return res
+
+    def test_renders_rows_and_values(self, result):
+        chart = bar_chart(result, "app", ["x", "y"])
+        assert "bb" in chart
+        assert "4" in chart
+        assert "█" in chart
+
+    def test_skips_nan_bars(self, result):
+        chart = bar_chart(result, "app", ["y"])
+        assert "bb" not in chart.replace("bb  y", "")  # no bar line for NaN
+
+    def test_empty_result(self):
+        assert bar_chart(ExperimentResult("e", "t"), "app", ["x"]) == "(no rows)"
+
+
+class TestRenderPlot:
+    def test_spec_experiments_render(self):
+        res = ExperimentResult("fig3", "t")
+        res.add(app="a", system_speedup=1.0, managed_speedup=0.5,
+                explicit_s=0.1)
+        assert "system_speedup" in render_plot(res)
+
+    def test_fig10_sparklines(self):
+        res = ExperimentResult("fig10", "t")
+        for i in range(4):
+            res.add(version="system", iteration=i + 1, time_ms=10.0 - i,
+                    gpu_read_gb=float(i), c2c_read_gb=3.0 - i)
+            res.add(version="managed", iteration=i + 1, time_ms=5.0,
+                    gpu_read_gb=4.0, c2c_read_gb=0.0)
+        plot = render_plot(res)
+        assert "system" in plot and "c2c reads" in plot
+
+    def test_unknown_experiment_returns_none(self):
+        assert render_plot(ExperimentResult("table1", "t")) is None
+
+    def test_specs_reference_known_figures(self):
+        assert {"fig3", "fig8", "fig12"} <= set(PLOT_SPECS)

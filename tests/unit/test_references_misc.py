@@ -1,0 +1,60 @@
+"""Coverage for smaller reference functions and rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.srad import srad_reference
+from repro.bench.report import format_cell
+from repro.sim.engine import SimClock, TraceEvent
+
+
+class TestSradReference:
+    def test_diffusion_smooths_the_image(self):
+        rng = np.random.default_rng(0)
+        img = np.exp(rng.random((32, 32), dtype=np.float32))
+        out = srad_reference(img, 8)
+        assert out.std() < img.std()
+
+    def test_positivity_preserved(self):
+        rng = np.random.default_rng(1)
+        img = np.exp(rng.random((16, 16), dtype=np.float32))
+        out = srad_reference(img, 4)
+        assert (out > 0).all()
+
+    def test_zero_iterations_is_identity(self):
+        img = np.exp(np.ones((8, 8), dtype=np.float32))
+        out = srad_reference(img, 0)
+        assert np.allclose(out, img)
+
+    def test_uniform_image_is_fixed_point(self):
+        img = np.full((8, 8), 2.5, dtype=np.float32)
+        out = srad_reference(img, 5)
+        assert np.allclose(out, img, rtol=1e-5)
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_nan_renders_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_cell("abc") == "abc"
+
+    def test_ints_pass_through(self):
+        assert format_cell(42) == "42"
+
+
+class TestTraceEvent:
+    def test_repr_is_compact(self):
+        ev = TraceEvent(0.001234, "kernel", {"name": "k", "duration": 1})
+        text = repr(ev)
+        assert "kernel" in text and "name=k" in text and "ms" in text
+
+    def test_clock_events_filter(self):
+        clock = SimClock()
+        clock.record("a", x=1)
+        clock.record("b", y=2)
+        assert [e.kind for e in clock.events()] == ["a", "b"]
+        assert [e.kind for e in clock.events("b")] == ["b"]

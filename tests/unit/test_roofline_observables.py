@@ -1,0 +1,167 @@
+"""Unit tests for the roofline tool and the Pauli observables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.quantum.gates import ghz_circuit
+from repro.apps.quantum.observables import (
+    Hamiltonian,
+    PauliString,
+    expectation,
+    ising_hamiltonian,
+)
+from repro.apps.quantum.statevector import HADAMARD, PAULI_X, Statevector
+from repro.core.kernels import ArrayAccess
+from repro.core.runtime import GraceHopperSystem
+from repro.sim.config import SystemConfig
+from repro.workloads.roofline import (
+    Roofline,
+    classify_kernel,
+    roofline_table,
+    rooflines,
+)
+
+
+class TestRooflines:
+    def test_three_tiers(self):
+        lines = rooflines()
+        assert set(lines) == {"hbm", "system-remote", "managed-remote"}
+        assert lines["hbm"].bandwidth > lines["system-remote"].bandwidth
+        assert (
+            lines["system-remote"].bandwidth
+            > lines["managed-remote"].bandwidth
+        )
+
+    def test_ridge_point(self):
+        line = Roofline("t", bandwidth=1e12, peak_flops=6e13)
+        assert line.ridge_intensity == pytest.approx(60.0)
+        assert line.attainable_flops(30.0) == pytest.approx(3e13)
+        assert line.attainable_flops(120.0) == pytest.approx(6e13)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            rooflines()["hbm"].attainable_flops(-1)
+
+    def test_table_rows(self):
+        rows = roofline_table()
+        assert len(rows) == 3
+        assert all("ridge_flops_per_byte" in r for r in rows)
+
+
+class TestKernelClassification:
+    def _record(self, gh, arr, flops):
+        gh.launch_kernel("warmup", [])
+        gh.launch_kernel("k", [ArrayAccess.read(arr)], flops=flops)
+        return gh.counters.kernel_records[-1]
+
+    def test_hbm_bound_kernel(self):
+        gh = GraceHopperSystem(SystemConfig.scaled(1 / 64, page_size=65536))
+        arr = gh.cuda_malloc(np.float32, (1 << 22,))
+        rec = self._record(gh, arr, flops=1e6)  # tiny AI
+        point = classify_kernel(rec, flops=1e6, config=gh.config)
+        assert point.bound != "compute"
+        assert "HBM" in point.bound
+        assert 0 < point.efficiency <= 1.0
+
+    def test_remote_bound_kernel(self):
+        gh = GraceHopperSystem(
+            SystemConfig.scaled(1 / 64, page_size=65536, migration_enable=False)
+        )
+        arr = gh.malloc(np.float32, (1 << 22,))
+        gh.cpu_phase("init", [ArrayAccess.write_(arr)])
+        rec = self._record(gh, arr, flops=1e6)
+        point = classify_kernel(rec, flops=1e6, config=gh.config)
+        assert "C2C" in point.bound
+
+    def test_compute_bound_kernel(self):
+        gh = GraceHopperSystem(SystemConfig.scaled(1 / 64, page_size=65536))
+        arr = gh.cuda_malloc(np.float32, (1 << 10,))
+        rec = self._record(gh, arr, flops=1e12)  # huge AI
+        point = classify_kernel(rec, flops=1e12, config=gh.config)
+        assert point.bound == "compute"
+
+    def test_zero_traffic_kernel(self):
+        gh = GraceHopperSystem(SystemConfig.scaled(1 / 64))
+        gh.launch_kernel("warmup", [])
+        gh.launch_kernel("pure", [], flops=1e9)
+        rec = gh.counters.kernel_records[-1]
+        point = classify_kernel(rec, flops=1e9, config=gh.config)
+        assert point.bound == "compute"
+        assert math.isinf(point.intensity)
+
+
+class TestPauliStrings:
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            PauliString("")
+        with pytest.raises(ValueError):
+            PauliString("XQ")
+
+    def test_factor_ordering_is_big_endian(self):
+        p = PauliString("ZX")
+        assert p.factor(0) == "X"
+        assert p.factor(1) == "Z"
+        with pytest.raises(ValueError):
+            p.factor(2)
+
+    def test_z_expectation_of_basis_states(self):
+        state = Statevector(1)
+        assert expectation(state, PauliString("Z")).real == pytest.approx(1.0)
+        state.apply_single(PAULI_X, 0)
+        assert expectation(state, PauliString("Z")).real == pytest.approx(-1.0)
+
+    def test_x_expectation_of_plus_state(self):
+        state = Statevector(1)
+        state.apply_single(HADAMARD, 0)
+        assert expectation(state, PauliString("X")).real == pytest.approx(
+            1.0, abs=1e-6
+        )
+        assert expectation(state, PauliString("Z")).real == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_ghz_correlations(self):
+        state = ghz_circuit(3).run()
+        # <ZZI> = +1 on GHZ; single-qubit <Z> = 0.
+        assert expectation(state, PauliString("IZZ")).real == pytest.approx(
+            1.0, abs=1e-5
+        )
+        assert expectation(state, PauliString("IIZ")).real == pytest.approx(
+            0.0, abs=1e-5
+        )
+        # <XXX> = +1 distinguishes GHZ from a classical mixture.
+        assert expectation(state, PauliString("XXX")).real == pytest.approx(
+            1.0, abs=1e-5
+        )
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expectation(Statevector(2), PauliString("ZZZ"))
+
+
+class TestHamiltonian:
+    def test_requires_consistent_register(self):
+        with pytest.raises(ValueError):
+            Hamiltonian([PauliString("Z"), PauliString("ZZ")])
+
+    def test_ising_ground_ish_energy(self):
+        # |000..>: each -J ZZ term gives -J; X terms give 0.
+        n = 4
+        h = ising_hamiltonian(n, j=1.0, h=0.5)
+        state = Statevector(n)
+        assert h.expectation(state) == pytest.approx(-(n - 1), abs=1e-5)
+
+    def test_transverse_field_on_plus_state(self):
+        n = 3
+        h = ising_hamiltonian(n, j=1.0, h=0.5)
+        state = Statevector(n)
+        for q in range(n):
+            state.apply_single(HADAMARD, q)
+        # |+++>: ZZ terms vanish, each X term contributes -h.
+        assert h.expectation(state) == pytest.approx(-0.5 * n, abs=1e-5)
+
+    def test_ising_validation(self):
+        with pytest.raises(ValueError):
+            ising_hamiltonian(1)

@@ -1,0 +1,150 @@
+"""Unit tests for the statevector quantum simulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.quantum.circuits import (
+    circuit_as_unitary,
+    generate_qv_circuit,
+    run_circuit,
+)
+from repro.apps.quantum.statevector import (
+    HADAMARD,
+    PAULI_X,
+    PAULI_Z,
+    Statevector,
+    random_su4,
+)
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+    dtype=np.complex64,
+)
+
+
+class TestSingleQubitGates:
+    def test_initial_state(self):
+        sv = Statevector(3)
+        assert sv.amplitudes[0] == 1.0
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_x_flips_qubit(self):
+        sv = Statevector(2)
+        sv.apply_single(PAULI_X, 0)
+        assert abs(sv.amplitudes[0b01]) == pytest.approx(1.0)
+        sv.apply_single(PAULI_X, 1)
+        assert abs(sv.amplitudes[0b11]) == pytest.approx(1.0)
+
+    def test_hadamard_superposition(self):
+        sv = Statevector(1)
+        sv.apply_single(HADAMARD, 0)
+        assert np.allclose(np.abs(sv.amplitudes) ** 2, [0.5, 0.5], atol=1e-6)
+
+    def test_z_phase(self):
+        sv = Statevector(1)
+        sv.apply_single(HADAMARD, 0)
+        sv.apply_single(PAULI_Z, 0)
+        sv.apply_single(HADAMARD, 0)
+        # HZH = X
+        assert abs(sv.amplitudes[1]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_qubit_bounds_checked(self):
+        sv = Statevector(2)
+        with pytest.raises(ValueError):
+            sv.apply_single(PAULI_X, 2)
+        with pytest.raises(ValueError):
+            sv.apply_single(np.eye(3), 0)
+
+
+class TestTwoQubitGates:
+    def test_bell_state(self):
+        sv = Statevector(2)
+        sv.apply_single(HADAMARD, 0)
+        sv.apply_two(CNOT, 0, 1)  # control q0, target q1
+        probs = np.abs(sv.amplitudes) ** 2
+        assert probs[0b00] == pytest.approx(0.5, abs=1e-6)
+        assert probs[0b11] == pytest.approx(0.5, abs=1e-6)
+
+    def test_distinct_qubits_required(self):
+        sv = Statevector(2)
+        with pytest.raises(ValueError):
+            sv.apply_two(CNOT, 1, 1)
+
+    def test_unitarity_preserved(self):
+        rng = np.random.default_rng(0)
+        sv = Statevector(5)
+        for _ in range(20):
+            q0, q1 = rng.choice(5, size=2, replace=False)
+            sv.apply_two(random_su4(rng), int(q0), int(q1))
+        assert sv.norm() == pytest.approx(1.0, abs=1e-4)
+
+    def test_random_su4_is_special_unitary(self):
+        rng = np.random.default_rng(3)
+        u = random_su4(rng).astype(np.complex128)
+        assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-6)
+        assert np.linalg.det(u) == pytest.approx(1.0, abs=1e-5)
+
+
+class TestMeasurement:
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        sv = Statevector(4)
+        run_circuit(sv, generate_qv_circuit(4, rng))
+        assert sv.probabilities().sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_sample_counts(self):
+        sv = Statevector(2)
+        sv.apply_single(PAULI_X, 0)
+        counts = sv.sample_counts(100, np.random.default_rng(0))
+        assert counts == {1: 100}
+
+    def test_heavy_output_probability_of_flat_state(self):
+        sv = Statevector(3)
+        for q in range(3):
+            sv.apply_single(HADAMARD, q)
+        # A flat distribution has no heavy outputs above the median.
+        assert sv.heavy_output_probability() == pytest.approx(0.0, abs=1e-6)
+
+    def test_heavy_output_probability_of_qv_circuit(self):
+        rng = np.random.default_rng(7)
+        sv = Statevector(6)
+        run_circuit(sv, generate_qv_circuit(6, rng))
+        # Haar-random circuits concentrate ~0.85 mass on heavy outputs.
+        assert 0.7 < sv.heavy_output_probability() < 0.95
+
+
+class TestCircuits:
+    def test_qv_circuit_shape(self):
+        rng = np.random.default_rng(0)
+        c = generate_qv_circuit(6, rng)
+        assert c.depth == 6
+        assert len(c.layers) == 6
+        assert all(len(layer) == 3 for layer in c.layers)
+        assert c.n_gates == 18
+
+    def test_qubits_in_layer_are_disjoint(self):
+        rng = np.random.default_rng(0)
+        c = generate_qv_circuit(8, rng)
+        for layer in c.layers:
+            qubits = [g.q0 for g in layer] + [g.q1 for g in layer]
+            assert len(set(qubits)) == len(qubits)
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            generate_qv_circuit(1, np.random.default_rng(0))
+
+    def test_statevector_matches_dense_unitary(self):
+        """Gate-by-gate application equals the composed 2^n unitary."""
+        rng = np.random.default_rng(11)
+        circuit = generate_qv_circuit(4, rng, depth=3)
+        sv = Statevector(4, dtype=np.complex128)
+        run_circuit(sv, circuit)
+        u = circuit_as_unitary(circuit)
+        expect = u[:, 0]  # applied to |0000>
+        assert np.allclose(sv.amplitudes, expect, atol=1e-6)
+
+    def test_unitary_construction_guards_size(self):
+        rng = np.random.default_rng(0)
+        c = generate_qv_circuit(13, rng, depth=1)
+        with pytest.raises(ValueError):
+            circuit_as_unitary(c)

@@ -1,0 +1,144 @@
+"""Unit tests for the CUDA-streams overlap model."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import ArrayAccess
+from repro.core.runtime import GraceHopperSystem
+from repro.core.streams import DeviceResource, StreamManager
+from repro.sim.config import MiB, SystemConfig
+
+
+@pytest.fixture
+def gh():
+    gh = GraceHopperSystem(SystemConfig.scaled(1 / 64, page_size=65536))
+    gh.launch_kernel("warmup", [])
+    return gh
+
+
+@pytest.fixture
+def mgr(gh):
+    return StreamManager(gh)
+
+
+def buffers(gh, nbytes=64 * MiB):
+    host = gh.cuda_malloc_host(np.uint8, (nbytes,), name="h")
+    dev = gh.cuda_malloc(np.uint8, (nbytes,), name="d")
+    return host, dev
+
+
+class TestOrdering:
+    def test_ops_on_one_stream_serialise(self, gh, mgr):
+        host, dev = buffers(gh)
+        s = mgr.create_stream()
+        a = s.memcpy_h2d_async(dev, host)
+        b = s.launch("k", [ArrayAccess.read(dev)])
+        c = s.memcpy_d2h_async(host, dev)
+        assert a.end <= b.start
+        assert b.end <= c.start
+
+    def test_independent_streams_overlap(self, gh, mgr):
+        h1, d1 = buffers(gh)
+        h2, d2 = buffers(gh)
+        s1, s2 = mgr.create_stream(), mgr.create_stream()
+        a = s1.memcpy_h2d_async(d1, h1)
+        b = s2.launch("k", [ArrayAccess.read(d2)])
+        # Different resources: both start immediately.
+        assert abs(a.start - b.start) < 1e-12
+
+    def test_same_resource_contends(self, gh, mgr):
+        h1, d1 = buffers(gh)
+        h2, d2 = buffers(gh)
+        s1, s2 = mgr.create_stream(), mgr.create_stream()
+        a = s1.memcpy_h2d_async(d1, h1)
+        b = s2.memcpy_h2d_async(d2, h2)  # same copy engine
+        assert b.start >= a.end
+
+    def test_opposite_copy_directions_do_not_contend(self, gh, mgr):
+        h1, d1 = buffers(gh)
+        h2, d2 = buffers(gh)
+        s1, s2 = mgr.create_stream(), mgr.create_stream()
+        a = s1.memcpy_h2d_async(d1, h1)
+        b = s2.memcpy_d2h_async(h2, d2)
+        assert abs(a.start - b.start) < 1e-12
+
+
+class TestSynchronisation:
+    def test_stream_sync_advances_clock(self, gh, mgr):
+        host, dev = buffers(gh)
+        s = mgr.create_stream()
+        op = s.memcpy_h2d_async(dev, host)
+        assert gh.now < op.end  # enqueue does not block
+        s.synchronize()
+        assert gh.now == pytest.approx(op.end)
+
+    def test_device_sync_waits_for_all_streams(self, gh, mgr):
+        h1, d1 = buffers(gh)
+        h2, d2 = buffers(gh)
+        s1, s2 = mgr.create_stream(), mgr.create_stream()
+        s1.memcpy_h2d_async(d1, h1)
+        op2 = s2.memcpy_h2d_async(d2, h2)
+        mgr.device_synchronize()
+        assert gh.now == pytest.approx(op2.end)
+
+    def test_sync_on_idle_stream_is_noop(self, gh, mgr):
+        s = mgr.create_stream()
+        t = gh.now
+        s.synchronize()
+        assert gh.now == t
+
+
+class TestPipelining:
+    def test_double_buffering_hides_copies(self, gh):
+        """The steady-state pipeline approaches max(copy, compute)."""
+        n_chunks = 8
+        chunk = 32 * MiB
+
+        def run(pipelined: bool) -> float:
+            g = GraceHopperSystem(SystemConfig.scaled(1 / 64, page_size=65536))
+            g.launch_kernel("warmup", [])
+            mgr = StreamManager(g)
+            hosts = [g.cuda_malloc_host(np.uint8, (chunk,)) for _ in range(2)]
+            devs = [g.cuda_malloc(np.uint8, (chunk,)) for _ in range(2)]
+            streams = [mgr.create_stream(), mgr.create_stream()]
+            t0 = g.now
+            for c in range(n_chunks):
+                s = streams[c % 2] if pipelined else streams[0]
+                i = c % 2 if pipelined else 0
+                s.memcpy_h2d_async(devs[i], hosts[i])
+                s.launch(f"k{c}", [ArrayAccess.read(devs[i]),
+                                   ArrayAccess.write_(devs[i])])
+                s.memcpy_d2h_async(hosts[i], devs[i])
+            mgr.device_synchronize()
+            return g.now - t0
+
+        serial = run(pipelined=False)
+        pipelined = run(pipelined=True)
+        assert pipelined < 0.75 * serial
+
+    def test_overlap_efficiency_metric(self, gh, mgr):
+        h1, d1 = buffers(gh)
+        h2, d2 = buffers(gh)
+        s1, s2 = mgr.create_stream(), mgr.create_stream()
+        s1.memcpy_h2d_async(d1, h1)
+        s2.memcpy_d2h_async(h2, d2)
+        mgr.device_synchronize()
+        assert mgr.overlap_efficiency() > 1.2  # two engines overlapped
+
+    def test_busy_time_accounting(self, gh, mgr):
+        host, dev = buffers(gh)
+        s = mgr.create_stream()
+        op = s.memcpy_h2d_async(dev, host)
+        assert mgr.busy_time(DeviceResource.COPY_H2D) == pytest.approx(
+            op.end - op.start
+        )
+        assert mgr.busy_time(DeviceResource.COMPUTE) == 0.0
+
+
+class TestConstraints:
+    def test_pageable_async_copy_rejected(self, gh, mgr):
+        pageable = gh.malloc(np.uint8, (1 * MiB,))
+        dev = gh.cuda_malloc(np.uint8, (1 * MiB,))
+        s = mgr.create_stream()
+        with pytest.raises(ValueError, match="pinned"):
+            s.memcpy_h2d_async(dev, pageable)

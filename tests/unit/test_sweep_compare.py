@@ -1,0 +1,102 @@
+"""Unit tests for the sweep utility and the result-diff tool."""
+
+import pytest
+
+from repro import MemoryMode
+from repro.bench.compare import diff_files, diff_results, render_diff
+from repro.bench.export import write_json
+from repro.bench.harness import ExperimentResult
+from repro.bench.sweep import BUILTIN_METRICS, Sweep, sweep_page_size_and_threshold
+
+
+class TestSweep:
+    def test_points_are_cartesian(self):
+        sweep = Sweep(
+            app="hotspot", mode=MemoryMode.SYSTEM,
+            grid={"system_page_size": [4096, 65536],
+                  "migration_threshold": [64, 256]},
+        )
+        assert len(sweep.points()) == 4
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(app="hotspot", mode=MemoryMode.SYSTEM, grid={})
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            Sweep(app="hotspot", mode=MemoryMode.SYSTEM,
+                  grid={"migration_threshold": [256]},
+                  metrics=["wall_clock"])
+
+    def test_run_produces_one_row_per_point(self):
+        result = Sweep(
+            app="hotspot", mode=MemoryMode.SYSTEM, scale=1 / 64,
+            grid={"system_page_size": [4096, 65536]},
+            metrics=["compute_s", "dealloc_s"],
+        ).run()
+        assert len(result.rows) == 2
+        assert all("compute_s" in r and "dealloc_s" in r for r in result.rows)
+        # The Figure 6 effect shows up in the sweep too.
+        by_page = {r["system_page_size"]: r for r in result.rows}
+        assert by_page[4096]["dealloc_s"] > by_page[65536]["dealloc_s"]
+
+    def test_convenience_sweep(self):
+        result = sweep_page_size_and_threshold(
+            "srad", scale=1 / 64, thresholds=(256,),
+            app_kwargs={"iterations": 4},
+        )
+        assert len(result.rows) == 2
+        assert all("migrated_gb" in r for r in result.rows)
+
+    def test_all_builtin_metrics_evaluate(self):
+        result = Sweep(
+            app="hotspot", mode=MemoryMode.SYSTEM, scale=1 / 64,
+            grid={"migration_threshold": [256]},
+            metrics=sorted(BUILTIN_METRICS),
+        ).run()
+        row = result.rows[0]
+        assert all(m in row for m in BUILTIN_METRICS)
+
+
+class TestCompare:
+    def _result(self, value):
+        res = ExperimentResult("figX", "t")
+        res.add(app="a", metric=value, label="x")
+        return res
+
+    def test_identical_results_have_no_deltas(self):
+        assert diff_results(self._result(1.0), self._result(1.0)) == []
+
+    def test_changed_cell_detected(self):
+        deltas = diff_results(self._result(1.0), self._result(1.2))
+        assert len(deltas) == 1
+        assert deltas[0].relative == pytest.approx(0.2)
+
+    def test_mismatched_ids_rejected(self):
+        other = ExperimentResult("figY", "t")
+        with pytest.raises(ValueError):
+            diff_results(self._result(1.0), other)
+
+    def test_diff_files_threshold(self, tmp_path):
+        write_json([self._result(1.0)], tmp_path / "before.json")
+        write_json([self._result(1.02)], tmp_path / "after.json")
+        significant, messages = diff_files(
+            tmp_path / "before.json", tmp_path / "after.json", threshold=0.05
+        )
+        assert not significant and not messages
+        significant, _ = diff_files(
+            tmp_path / "before.json", tmp_path / "after.json", threshold=0.01
+        )
+        assert len(significant) == 1
+
+    def test_missing_experiment_reported(self, tmp_path):
+        write_json([self._result(1.0)], tmp_path / "before.json")
+        write_json([], tmp_path / "after.json")
+        _, messages = diff_files(tmp_path / "before.json", tmp_path / "after.json")
+        assert any("missing" in m for m in messages)
+
+    def test_render_diff(self):
+        deltas = diff_results(self._result(1.0), self._result(2.0))
+        text = render_diff(deltas, [])
+        assert "figX" in text and "+100.0%" in text
+        assert render_diff([], []) == "no significant differences"

@@ -1,0 +1,87 @@
+"""Unit tests for the extra synthetic workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.core.porting import MemoryMode
+from repro.core.runtime import GraceHopperSystem
+from repro.sim.config import SystemConfig
+
+
+def fresh(page=65536, migration=True, scale=1 / 256):
+    return GraceHopperSystem(
+        SystemConfig.scaled(scale, page_size=page, migration_enable=migration)
+    )
+
+
+class TestGups:
+    def test_runs_in_all_modes(self):
+        for mode in MemoryMode:
+            app = get_application("gups", scale=1 / 4096, epochs=2)
+            res = app.run(fresh(scale=1 / 256), mode)
+            assert len(res.iteration_times) == 2
+
+    def test_functional_checksum_stable_across_modes(self):
+        sums = set()
+        for mode in (MemoryMode.SYSTEM, MemoryMode.MANAGED):
+            app = get_application(
+                "gups", scale=1e-6, epochs=2, updates_per_epoch=64
+            )
+            res = app.run(fresh(), mode, materialize=True)
+            sums.add(res.correctness["checksum"])
+        assert len(sums) == 1
+
+    def test_random_access_resists_migration(self):
+        """GUPS touches each page too sparsely to cross the threshold."""
+        gh = fresh(migration=True)
+        app = get_application("gups", scale=1 / 256, epochs=3,
+                              updates_per_epoch=1 << 14)
+        app.run(gh, MemoryMode.SYSTEM)
+        assert gh.counters.total.pages_migrated_h2d == 0
+
+
+class TestTriad:
+    def test_verifies(self):
+        app = get_application("triad", scale=1e-6, passes=2)
+        app.run(fresh(), MemoryMode.SYSTEM, materialize=True, verify=True)
+
+    def test_single_pass_never_migrates_at_4k(self):
+        gh = fresh(page=4096)
+        app = get_application("triad", scale=1 / 256, passes=1)
+        app.run(gh, MemoryMode.SYSTEM)
+        assert gh.counters.total.pages_migrated_h2d == 0
+
+    def test_many_passes_benefit_from_migration(self):
+        times = {}
+        for migration in (False, True):
+            gh = fresh(migration=migration)
+            app = get_application("triad", scale=1 / 256, passes=12)
+            res = app.run(gh, MemoryMode.SYSTEM)
+            times[migration] = res.phases.compute
+        assert times[True] < times[False]
+
+
+class TestHotCold:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            get_application("hotcold", hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            get_application("hotcold", hot_access_share=1.5)
+
+    def test_migration_moves_only_the_hot_region(self):
+        gh = fresh(migration=True)
+        app = get_application("hotcold", scale=1 / 256, epochs=10)
+        app.run(gh, MemoryMode.SYSTEM)
+        migrated = gh.counters.total.migration_h2d_bytes
+        assert migrated > 0
+        # The hot region plus its 2 MB alignment slack, far below the
+        # full working set.
+        assert migrated < 0.5 * app.working_set_bytes()
+
+    def test_c2c_traffic_drops_after_hot_migration(self):
+        gh = fresh(migration=True)
+        app = get_application("hotcold", scale=1 / 256, epochs=10)
+        res = app.run(gh, MemoryMode.SYSTEM)
+        c2c = [t["c2c_read_bytes"] for t in res.iteration_traffic]
+        assert c2c[-1] < c2c[0]

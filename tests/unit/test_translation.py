@@ -1,0 +1,81 @@
+"""Unit tests for the TLBs, SMMU, and GMMU cost models."""
+
+import pytest
+
+from repro.mem.gmmu import Gmmu
+from repro.mem.smmu import Smmu
+from repro.mem.tlb import TlbHierarchy
+from repro.sim.config import Processor, SystemConfig
+
+
+@pytest.fixture
+def cfg():
+    return SystemConfig()
+
+
+@pytest.fixture
+def tlbs(cfg):
+    return TlbHierarchy(cfg)
+
+
+class TestTlb:
+    def test_reach_scales_with_page_size(self, tlbs):
+        assert tlbs.gpu.reach_bytes(65536) == 16 * tlbs.gpu.reach_bytes(4096)
+
+    def test_shootdown_cost_and_stats(self, tlbs):
+        t = tlbs.ats_tbu.shootdown(100)
+        assert t > 0
+        assert tlbs.ats_tbu.stats.shootdowns == 1
+        assert tlbs.ats_tbu.stats.shootdown_pages == 100
+
+    def test_processor_lookup(self, tlbs):
+        assert tlbs.for_processor(Processor.CPU) is tlbs.cpu
+        assert tlbs.for_processor(Processor.GPU) is tlbs.gpu
+
+
+class TestSmmu:
+    def test_gpu_first_touch_cost_per_page(self, cfg, tlbs):
+        smmu = Smmu(cfg, tlbs)
+        one = smmu.gpu_first_touch_fault(1)
+        thousand = smmu.gpu_first_touch_fault(1000)
+        assert thousand == pytest.approx(1000 * one)
+        assert smmu.stats.replayable_faults == 1001
+
+    def test_gpu_fault_costs_more_than_cpu_fault(self, cfg, tlbs):
+        smmu = Smmu(cfg, tlbs)
+        assert smmu.gpu_first_touch_fault(10) > smmu.cpu_first_touch_fault(10)
+
+    def test_bulk_populate_cheaper_than_fault_path(self, cfg, tlbs):
+        smmu = Smmu(cfg, tlbs)
+        assert smmu.bulk_populate(1000) < smmu.gpu_first_touch_fault(1000)
+
+    def test_autonuma_adds_hinting_cost(self, tlbs):
+        base = Smmu(SystemConfig(), tlbs).cpu_first_touch_fault(100)
+        with_numa = Smmu(
+            SystemConfig(autonuma_enable=True), tlbs
+        ).cpu_first_touch_fault(100)
+        assert with_numa > base
+
+    def test_translate_for_gpu_accounts_ats(self, cfg, tlbs):
+        smmu = Smmu(cfg, tlbs)
+        smmu.translate_for_gpu(64)
+        assert smmu.stats.ats_requests == 64
+        assert tlbs.ats_tbu.stats.fills == 64
+
+    def test_zero_pages_cost_nothing(self, cfg, tlbs):
+        smmu = Smmu(cfg, tlbs)
+        assert smmu.gpu_first_touch_fault(0) == 0.0
+        assert smmu.translate_for_gpu(0) == 0.0
+
+
+class TestGmmu:
+    def test_far_fault_per_batch(self, cfg):
+        gmmu = Gmmu(cfg)
+        assert gmmu.far_fault(4) == pytest.approx(4 * cfg.managed_farfault_cost)
+        assert gmmu.stats.far_faults == 4
+
+    def test_pte_create_is_driver_cheap(self, cfg):
+        gmmu = Gmmu(cfg)
+        # Creating a 2 MB GPU PTE is far cheaper than an OS-handled
+        # replayable fault — the root of the Section 5.1.2 asymmetry.
+        assert gmmu.create_ptes(1) < cfg.gpu_replayable_fault_cost
