@@ -1,0 +1,181 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Covers the three layers the interval-list PageSet overhaul targets:
+
+* symbolic set algebra at paper scale (two million 64 KB pages = the
+  128 GB statevector of the 34-qubit Quantum Volume run) — including a
+  head-to-head against the seed implementation of the range-split
+  ``difference``, which materialised the full index array;
+* the :meth:`MemorySubsystem.access` batch dispatch;
+* :meth:`AccessCounterMigrator.service` under steady oversubscription.
+
+Besides the pytest-benchmark tables, the measured timings are exported
+to ``BENCH_hotpath.json`` at the repo root so speedups are tracked in
+version control.
+"""
+
+from __future__ import annotations
+
+import json
+import timeit
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import ArrayAccess
+from repro.core.runtime import GraceHopperSystem
+from repro.mem.coherence import AccessShape
+from repro.mem.pageset import PageSet
+from repro.sim.config import Location, Processor, SystemConfig
+
+#: Two million pages — the paper's 128 GB statevector at 64 KB pages.
+N_PAGES = 2 * 1024 * 1024
+
+RESULTS: dict = {"n_pages": N_PAGES, "benchmarks": {}}
+
+
+def _best(fn, repeat=5, number=10) -> float:
+    """Best-of-N wall time per call, seconds."""
+    return min(timeit.repeat(fn, number=number, repeat=repeat)) / number
+
+
+def _record(name: str, seconds: float, **extra) -> None:
+    RESULTS["benchmarks"][name] = {"seconds": seconds, **extra}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def export_results():
+    yield
+    path = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+    path.write_text(json.dumps(RESULTS, indent=2) + "\n")
+
+
+def _seed_difference(a: PageSet, b: PageSet) -> PageSet:
+    """The seed implementation of the range-split difference: materialise
+    the full index array, mask, re-detect ranges. Kept inline as the
+    baseline the symbolic path is measured against."""
+    mine = np.arange(a.start, a.stop, dtype=np.int64)
+    mask = (mine < b.start) | (mine >= b.stop)
+    return PageSet.of(mine[mask])
+
+
+class TestPageSetAlgebra:
+    def test_difference_range_split_speedup_vs_seed(self, benchmark):
+        big = PageSet.range(0, N_PAGES)
+        hole = PageSet.range(1000, N_PAGES - 1000)
+        out = big.difference(hole)
+        assert out.index is None and out.run_count == 2
+        new_t = _best(lambda: big.difference(hole), number=100)
+        seed_t = _best(lambda: _seed_difference(big, hole), number=2)
+        speedup = seed_t / new_t
+        _record(
+            "difference_range_split",
+            new_t,
+            seed_seconds=seed_t,
+            speedup_vs_seed=round(speedup, 1),
+        )
+        benchmark.pedantic(
+            lambda: big.difference(hole), rounds=5, iterations=100
+        )
+        assert speedup >= 5.0, f"only {speedup:.1f}x over the seed"
+
+    def test_union_disjoint_ranges(self, benchmark):
+        a = PageSet.range(0, N_PAGES // 2 - 1000)
+        b = PageSet.range(N_PAGES // 2 + 1000, N_PAGES)
+        out = benchmark(lambda: a.union(b))
+        assert out.index is None and out.run_count == 2
+        _record("union_disjoint", _best(lambda: a.union(b), number=100))
+
+    def test_intersect_runs_with_range(self, benchmark):
+        runs = PageSet.from_runs(
+            [(k * 65536, k * 65536 + 4096) for k in range(32)]
+        )
+        window = PageSet.range(N_PAGES // 4, 3 * N_PAGES // 4)
+        out = benchmark(lambda: runs.intersect(window))
+        assert out.index is None
+        _record(
+            "intersect_runs_range",
+            _best(lambda: runs.intersect(window), number=100),
+        )
+
+    def test_align_down_runs(self, benchmark):
+        ps = PageSet.from_runs(
+            [(k * 65536 + 3, k * 65536 + 40) for k in range(32)]
+        )
+        out = benchmark(lambda: ps.align_down(16))
+        assert out.index is None
+        _record("align_down_runs", _best(lambda: ps.align_down(16), number=100))
+
+    def test_strided_construction(self, benchmark):
+        out = benchmark(lambda: PageSet.strided(0, N_PAGES, 16))
+        assert out.index is None
+        _record(
+            "strided_construction",
+            _best(lambda: PageSet.strided(0, N_PAGES, 16), number=100),
+        )
+
+    def test_from_mask_chunky_residency(self, benchmark):
+        state = np.zeros(N_PAGES, dtype=np.int8)
+        state[: N_PAGES // 2] = 1
+        state[-4096:] = 1
+        out = benchmark(lambda: PageSet.from_mask(state == 1))
+        assert out.index is None and out.run_count == 2
+        _record(
+            "from_mask_chunky",
+            _best(lambda: PageSet.from_mask(state == 1), number=10),
+        )
+
+
+class TestSubsystemDispatch:
+    @pytest.fixture(scope="class")
+    def gh(self):
+        return GraceHopperSystem(SystemConfig.scaled(1 / 64, page_size=65536))
+
+    def test_access_batch_dispatch(self, gh, benchmark):
+        x = gh.malloc(np.float32, (1 << 24,), name="hot_x")
+        gh.cpu_phase("init", [ArrayAccess.write_(x)])
+        alloc = x.alloc
+        pages = PageSet.full(alloc.n_pages)
+        shape = AccessShape(
+            useful_bytes=alloc.nbytes, element_bytes=4, density=1.0
+        )
+
+        def dispatch():
+            return gh.mem.access(
+                Processor.GPU, alloc, pages, shape, now=gh.now
+            )
+
+        result = benchmark(dispatch)
+        assert result is not None
+        _record("subsystem_access", _best(dispatch, number=10))
+
+
+class TestMigratorService:
+    @pytest.fixture(scope="class")
+    def oversubscribed(self):
+        # GPU memory smaller than the working set: the migrator always has
+        # CPU-resident hot pages to consider, so service() does steady
+        # per-epoch work instead of a one-shot migration.
+        gh = GraceHopperSystem(
+            SystemConfig.scaled(1 / 64, page_size=65536, migration_enable=True)
+        )
+        hbm_elems = int(gh.config.gpu_memory_bytes * 1.5) // 4
+        x = gh.malloc(np.float32, (hbm_elems,), name="big")
+        gh.cpu_phase("init", [ArrayAccess.write_(x)])
+        return gh, x
+
+    def test_service_steady_state(self, oversubscribed, benchmark):
+        gh, x = oversubscribed
+        alloc = x.alloc
+
+        def one_epoch():
+            cpu_pages = alloc.subset(PageSet.full(alloc.n_pages), Location.CPU)
+            gh.mem.migrator.record_gpu_accesses(
+                alloc, cpu_pages, gh.config.migration_threshold
+            )
+            return gh.mem.begin_epoch()
+
+        report = benchmark(one_epoch)
+        assert report is not None
+        _record("migrator_service", _best(one_epoch, number=2))

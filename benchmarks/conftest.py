@@ -9,19 +9,43 @@ simulations, so each is timed with a single pedantic round.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.bench import render_table, run_experiment
+from repro.bench import (
+    ResultCache,
+    render_table,
+    run_experiment,
+    run_experiment_cached,
+)
+
+
+@pytest.fixture(scope="session")
+def result_cache():
+    """Opt-in on-disk result cache for the figure/table benchmarks.
+
+    Set ``REPRO_BENCH_CACHE=1`` (default location) or to a directory to
+    serve repeated runs from cache; unset, every run regenerates.
+    """
+    flag = os.environ.get("REPRO_BENCH_CACHE")
+    if not flag:
+        return None
+    return ResultCache(None if flag == "1" else flag)
 
 
 @pytest.fixture
-def regenerate(benchmark):
+def regenerate(benchmark, result_cache):
     """Run one experiment under pytest-benchmark and print its table."""
 
     def _run(exp_id: str, **kwargs):
-        result = benchmark.pedantic(
-            lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
-        )
+        if result_cache is not None:
+            target = lambda: run_experiment_cached(  # noqa: E731
+                exp_id, cache=result_cache, **kwargs
+            )
+        else:
+            target = lambda: run_experiment(exp_id, **kwargs)  # noqa: E731
+        result = benchmark.pedantic(target, rounds=1, iterations=1)
         print()
         print(render_table(result))
         return result

@@ -8,10 +8,18 @@ from .compare import diff_files, diff_results, render_diff
 from .export import load_json, write_csv, write_json
 from .plots import render_plot
 from .report import render_markdown, render_table
+from .runner import (
+    ResultCache,
+    run_experiment_cached,
+    run_experiments_parallel,
+)
 from .sweep import Sweep, sweep_page_size_and_threshold
 
 __all__ = [
     "run_experiment",
+    "run_experiment_cached",
+    "run_experiments_parallel",
+    "ResultCache",
     "experiment_ids",
     "ExperimentResult",
     "make_config",

@@ -18,10 +18,20 @@ from .report import render_markdown, render_table
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "run":
+        # Parallel + cached driver lives in its own module; ``run`` is a
+        # subcommand so the classic one-shot invocations keep working.
+        from .runner import main_run
+
+        return main_run(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures on the "
         "simulated Grace Hopper testbed.",
+        epilog="See 'repro-bench run --help' for the parallel + cached "
+        "driver (worker pool, on-disk result cache).",
     )
     parser.add_argument(
         "experiments",

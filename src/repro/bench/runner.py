@@ -1,0 +1,335 @@
+"""Cached, parallel experiment execution.
+
+The experiment registry regenerates every table and figure of the paper
+from scratch on each invocation, and a full sweep runs dozens of
+application simulations. Two pieces make that tractable at paper scale:
+
+* :class:`ResultCache` — a content-addressed on-disk cache of
+  :class:`~repro.bench.harness.ExperimentResult` payloads. The cache key
+  is a SHA-256 over ``(experiment id, experiment kwargs, the paper
+  testbed's SystemConfig, the repro package version, cache schema)``, so
+  any recalibration of the model, change of experiment parameters, or
+  package upgrade invalidates stale entries automatically; explicit
+  invalidation is available via :meth:`ResultCache.invalidate` or
+  ``repro-bench run --invalidate``.
+* :func:`run_experiments_parallel` — a ``ProcessPoolExecutor`` driver
+  that fans uncached experiments out across worker processes
+  (experiments are independent, pure functions of their kwargs) and
+  folds completed results back into the cache. Exposed on the command
+  line as ``python -m repro.bench run --jobs N``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Iterable
+
+from .. import __version__
+from ..sim.config import SystemConfig
+from .experiments import experiment_ids, run_experiment
+from .harness import ExperimentResult
+
+#: Bump to invalidate every existing cache entry after a change to the
+#: serialisation layout or the key derivation.
+CACHE_SCHEMA = 1
+
+
+def _default_cache_root() -> Path:
+    env = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path("~/.cache").expanduser()
+    return base / "repro-bench"
+
+
+def config_fingerprint(config: SystemConfig | None = None) -> str:
+    """Stable digest of every model constant the experiments consume."""
+    config = config or SystemConfig.paper_gh200()
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def cache_key(exp_id: str, kwargs: dict) -> str:
+    """Content-addressed key for one ``(experiment, kwargs)`` invocation."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "exp_id": exp_id,
+            "kwargs": {k: kwargs[k] for k in sorted(kwargs)},
+            "config": config_fingerprint(),
+            "version": __version__,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _serialize(result: ExperimentResult) -> dict:
+    return {
+        "schema": CACHE_SCHEMA,
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "rows": result.rows,
+        "notes": list(result.notes),
+        "columns": result.columns,
+    }
+
+
+def _deserialize(payload: dict) -> ExperimentResult:
+    return ExperimentResult(
+        payload["exp_id"],
+        payload["title"],
+        rows=payload["rows"],
+        notes=payload["notes"],
+        columns=payload["columns"],
+    )
+
+
+class ResultCache:
+    """On-disk experiment result cache (one JSON file per key)."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else _default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, exp_id: str, kwargs: dict) -> Path:
+        return self.root / f"{exp_id}-{cache_key(exp_id, kwargs)}.json"
+
+    def get(self, exp_id: str, **kwargs) -> ExperimentResult | None:
+        path = self.path_for(exp_id, kwargs)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError("stale cache schema")
+            result = _deserialize(payload)
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, result: ExperimentResult, **kwargs) -> Path:
+        path = self.path_for(result.exp_id, kwargs)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(_serialize(result)))
+        tmp.replace(path)
+        return path
+
+    def invalidate(self, exp_id: str | None = None) -> int:
+        """Drop cached entries (all of them, or one experiment's).
+
+        Returns the number of files removed.
+        """
+        pattern = f"{exp_id}-*.json" if exp_id else "*.json"
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob(pattern):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {self.root} hits={self.hits} misses={self.misses}>"
+        )
+
+
+def run_experiment_cached(
+    exp_id: str,
+    *,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment through the cache (or directly, if ``cache`` is
+    None). ``force=True`` re-runs and overwrites the cached entry."""
+    if cache is None:
+        return run_experiment(exp_id, **kwargs)
+    if not force:
+        hit = cache.get(exp_id, **kwargs)
+        if hit is not None:
+            return hit
+    result = run_experiment(exp_id, **kwargs)
+    cache.put(result, **kwargs)
+    return result
+
+
+def _pool_run(exp_id: str, kwargs: dict) -> dict:
+    """Worker-side entry point: run one experiment, return it serialised
+    (plain dicts pickle smaller and never drag simulator state along)."""
+    return _serialize(run_experiment(exp_id, **kwargs))
+
+
+def run_experiments_parallel(
+    exp_ids: Iterable[str] | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    kwargs: dict | None = None,
+    kwargs_per_exp: dict[str, dict] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run experiments across a process pool, serving cache hits first.
+
+    ``kwargs`` applies to every experiment (e.g. ``{"scale": 0.01}``);
+    ``kwargs_per_exp`` layers per-experiment overrides on top. Returns
+    ``{exp_id: ExperimentResult}`` in the requested order. ``jobs=1``
+    runs inline (no pool), which is also the fallback for a single
+    pending experiment.
+    """
+    wanted = list(exp_ids) if exp_ids is not None else experiment_ids()
+    unknown = [e for e in wanted if e not in experiment_ids()]
+    if unknown:
+        raise KeyError(f"unknown experiment(s): {unknown}")
+    jobs = jobs or os.cpu_count() or 1
+
+    def kwargs_for(exp_id: str) -> dict:
+        merged = dict(kwargs or {})
+        merged.update((kwargs_per_exp or {}).get(exp_id, {}))
+        return merged
+
+    results: dict[str, ExperimentResult] = {}
+    pending: list[str] = []
+    for exp_id in wanted:
+        hit = None
+        if cache is not None and not force:
+            hit = cache.get(exp_id, **kwargs_for(exp_id))
+        if hit is not None:
+            results[exp_id] = hit
+        else:
+            pending.append(exp_id)
+
+    if len(pending) <= 1 or jobs <= 1:
+        for exp_id in pending:
+            results[exp_id] = run_experiment(exp_id, **kwargs_for(exp_id))
+            if cache is not None:
+                cache.put(results[exp_id], **kwargs_for(exp_id))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(_pool_run, exp_id, kwargs_for(exp_id)): exp_id
+                for exp_id in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    exp_id = futures[fut]
+                    results[exp_id] = _deserialize(fut.result())
+                    if cache is not None:
+                        cache.put(results[exp_id], **kwargs_for(exp_id))
+
+    return {exp_id: results[exp_id] for exp_id in wanted}
+
+
+def main_run(argv: list[str] | None = None) -> int:
+    """``repro-bench run`` / ``python -m repro.bench run`` entry point."""
+    import argparse
+    import time
+
+    from .report import render_markdown, render_table
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench run",
+        description="Run experiments in parallel with an on-disk result "
+        "cache (second invocations are served from cache).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids ({', '.join(experiment_ids())})",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run the full registry"
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=os.cpu_count() or 1,
+        help="worker processes (default: CPU count)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="problem/machine scale factor (1.0 = the paper's testbed)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache location (default: $REPRO_BENCH_CACHE_DIR or "
+        "~/.cache/repro-bench)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the cache entirely"
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="re-run even on a cache hit and overwrite the entry",
+    )
+    parser.add_argument(
+        "--invalidate", action="store_true",
+        help="drop the cached entries for the selected experiments "
+        "(all entries with --all) and exit",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write all results to a JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = list(args.experiments)
+    if args.all or not wanted:
+        wanted = experiment_ids()
+    unknown = [e for e in wanted if e not in experiment_ids()]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    if args.invalidate:
+        if cache is None:
+            parser.error("--invalidate conflicts with --no-cache")
+        if args.all:
+            removed = cache.invalidate()
+        else:
+            removed = sum(cache.invalidate(e) for e in wanted)
+        print(f"invalidated {removed} cached result(s) under {cache.root}")
+        return 0
+
+    t0 = time.perf_counter()
+    results = run_experiments_parallel(
+        wanted,
+        jobs=args.jobs,
+        cache=cache,
+        force=args.force,
+        kwargs={"scale": args.scale},
+    )
+    dt = time.perf_counter() - t0
+
+    render = render_markdown if args.markdown else render_table
+    for result in results.values():
+        print(render(result))
+        print()
+    if cache is not None:
+        print(
+            f"[{len(results)} experiment(s) in {dt:.1f}s wall time; "
+            f"{cache.hits} from cache, {cache.misses} regenerated "
+            f"({cache.root})]"
+        )
+    else:
+        print(f"[{len(results)} experiment(s) in {dt:.1f}s wall time]")
+
+    if args.json:
+        from .export import write_json
+
+        print(f"wrote {write_json(list(results.values()), args.json)}")
+    return 0

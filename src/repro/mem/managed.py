@@ -150,7 +150,7 @@ class ManagedMemoryManager:
             seconds += self.tlbs.gpu.shootdown(gpu_pages.count)
             freed += nbytes
             alloc.stats.pages_evicted += gpu_pages.count
-            self.counters.total.add(
+            self.counters.bump(
                 eviction_bytes=nbytes,
                 migration_d2h_bytes=nbytes,
                 pages_evicted=gpu_pages.count,
@@ -302,7 +302,7 @@ class ManagedMemoryManager:
             # memory in the managed version).
             out.hbm_bytes += shape.useful_bytes * move.count
             alloc.stats.pages_migrated_to_gpu += move.count
-            self.counters.total.add(
+            self.counters.bump(
                 migration_h2d_bytes=effective,
                 pages_migrated_h2d=move.count,
                 managed_far_faults=batches,
@@ -350,7 +350,7 @@ class ManagedMemoryManager:
         out.migrated_bytes += effective
         alloc.stats.pages_migrated_to_gpu += pages.count
         alloc.stats.pages_evicted += pages.count
-        self.counters.total.add(
+        self.counters.bump(
             migration_h2d_bytes=effective,
             migration_d2h_bytes=effective,
             eviction_bytes=effective,
@@ -397,7 +397,7 @@ class ManagedMemoryManager:
             self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
             out.fault_seconds += unmapped.count * self.config.cpu_fault_cost
             alloc.stats.cpu_faults += unmapped.count
-            self.counters.total.add(cpu_page_faults=unmapped.count)
+            self.counters.bump(cpu_page_faults=unmapped.count)
 
         n_gpu = int(counts[Location.GPU])
         if n_gpu:
@@ -418,7 +418,7 @@ class ManagedMemoryManager:
             ) + self.tlbs.gpu.shootdown(victim.count)
             out.migrated_bytes += nbytes
             alloc.stats.pages_migrated_to_cpu += victim.count
-            self.counters.total.add(
+            self.counters.bump(
                 migration_d2h_bytes=nbytes,
                 pages_migrated_d2h=victim.count,
                 tlb_shootdowns=1,
@@ -427,7 +427,7 @@ class ManagedMemoryManager:
         cpu_like = int(counts[Location.CPU]) + int(counts[Location.CPU_PINNED])
         local_bytes = shape.useful_bytes * (cpu_like + n_unmapped + n_gpu)
         out.lpddr_bytes += local_bytes
-        self.counters.total.add(
+        self.counters.bump(
             lpddr_write_bytes=local_bytes if write else 0,
             lpddr_read_bytes=0 if write else local_bytes,
         )
@@ -462,7 +462,7 @@ class ManagedMemoryManager:
             seconds += self.link.streaming_time(moved, Processor.CPU, Processor.GPU)
             alloc.touch_blocks(move, now)
             alloc.stats.pages_migrated_to_gpu += move.count
-            self.counters.total.add(
+            self.counters.bump(
                 migration_h2d_bytes=moved, pages_migrated_h2d=move.count
             )
         return seconds
@@ -471,10 +471,10 @@ class ManagedMemoryManager:
 
     def _account(self, out: ManagedOutcome, write: bool) -> None:
         if write:
-            self.counters.total.add(
+            self.counters.bump(
                 hbm_write_bytes=out.hbm_bytes, c2c_write_bytes=out.remote_bytes
             )
         else:
-            self.counters.total.add(
+            self.counters.bump(
                 hbm_read_bytes=out.hbm_bytes, c2c_read_bytes=out.remote_bytes
             )

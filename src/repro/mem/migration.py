@@ -105,7 +105,7 @@ class AccessCounterMigrator:
             if not hot:
                 continue
             self.notifications_seen += 1
-            self.counters.total.add(migration_notifications=1)
+            self.counters.bump(migration_notifications=1)
             # Notifications are per VA *region*: the driver migrates the
             # pages belonging to the associated region (Section 2.2.1), so
             # cold pages sharing a region with hot ones move too — the
@@ -148,7 +148,7 @@ class AccessCounterMigrator:
         report.transfer_seconds += transfer + self.config.migration_range_cost
         report.stall_seconds += stall + shootdown
         alloc.stats.pages_migrated_to_gpu += pages.count
-        self.counters.total.add(
+        self.counters.bump(
             migration_h2d_bytes=nbytes,
             pages_migrated_h2d=pages.count,
             tlb_shootdowns=1,

@@ -1,16 +1,31 @@
-"""Compact, vectorised sets of page indices.
+"""Compact, symbolic sets of page indices.
 
 Every memory access the simulator processes is described at page
-granularity by a :class:`PageSet`: either a dense ``[start, stop)`` range
-(the common case for streaming kernels — a full statevector sweep is one
-range) or a sorted array of unique page indices (irregular gathers such as
-BFS frontier expansion).
+granularity by a :class:`PageSet`. Four representations share one
+immutable interface, ordered from most to least symbolic:
 
-Ranges are kept symbolic so that full-allocation sweeps over tens of
-millions of pages never materialise an index array; the page-state
-machinery in :mod:`repro.mem.pagetable` has slice-based fast paths for
-them. Index arrays are always ``int64``, sorted, and duplicate-free, which
-the property-based tests in ``tests/property`` enforce as an invariant.
+* a dense ``[start, stop)`` **range** (the common case for streaming
+  kernels — a full statevector sweep is one range);
+* an **interval list** of sorted, non-overlapping, non-adjacent
+  ``[start, stop)`` runs (a dense range with holes punched into it, the
+  result of partial migrations and budget-capped actions);
+* a **strided** arithmetic progression ``start, start+step, ...``
+  (regular column sweeps), which maps onto numpy's strided slicing;
+* a sorted ``int64`` **index array** (irregular gathers such as BFS
+  frontier expansion), the fallback when a set has too many runs to stay
+  symbolic.
+
+Ranges, interval lists, and strided sets are kept symbolic so that
+full-allocation sweeps over tens of millions of pages — and holes,
+splits, and unions thereof — never materialise an index array; the
+page-state machinery in :mod:`repro.mem.pagetable` has slice-based fast
+paths for them. Set algebra between any two symbolic sets is O(runs),
+vectorised over the run boundaries rather than the pages. Results are
+re-symbolised automatically: any operation that would produce at most
+:data:`MAX_SYMBOLIC_RUNS` runs stays an interval list.
+
+Index arrays are always ``int64``, sorted, and duplicate-free, which the
+property-based tests in ``tests/property`` enforce as an invariant.
 """
 
 from __future__ import annotations
@@ -18,6 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+#: Results with at most this many maximal runs are kept as symbolic
+#: interval lists; beyond it the index-array representation is denser and
+#: the O(runs) python-level bookkeeping stops paying for itself.
+MAX_SYMBOLIC_RUNS = 64
 
 
 @dataclass(frozen=True)
@@ -29,6 +49,12 @@ class PageSet:
     #: Sorted unique indices; when present, ``start``/``stop`` hold the
     #: bounding interval for cheap range checks.
     index: np.ndarray | None = None
+    #: Sorted, non-overlapping, non-adjacent ``(start, stop)`` runs; only
+    #: present for multi-run symbolic sets (``len(runs) >= 2``).
+    runs: tuple[tuple[int, int], ...] | None = None
+    #: Stride of a symbolic arithmetic progression; ``1`` for all other
+    #: representations.
+    step: int = 1
 
     # -- constructors ------------------------------------------------------
 
@@ -56,31 +82,74 @@ class PageSet:
             return PageSet.empty()
         if idx[0] < 0:
             raise ValueError("page indices must be non-negative")
-        # Collapse to a dense range when the indices are contiguous: the
-        # slice fast paths downstream are much cheaper than fancy indexing.
-        lo, hi = int(idx[0]), int(idx[-1])
-        if hi - lo + 1 == idx.size:
-            return PageSet(lo, hi + 1)
-        return PageSet(lo, hi + 1, idx)
+        return PageSet._from_sorted(idx)
 
     @staticmethod
     def strided(start: int, stop: int, step: int) -> "PageSet":
+        """The pages ``start, start+step, ... < stop`` — O(1), symbolic."""
         if step <= 0:
             raise ValueError("step must be positive")
         if step == 1:
             return PageSet.range(start, stop)
-        return PageSet.of(np.arange(start, stop, step, dtype=np.int64))
+        if stop <= start:
+            if start < 0:
+                raise ValueError("page indices must be non-negative")
+            return PageSet.empty()
+        if start < 0:
+            raise ValueError("page indices must be non-negative")
+        last = start + ((stop - start - 1) // step) * step
+        if last == start:
+            return PageSet.range(start, start + 1)
+        return PageSet(int(start), int(last) + 1, step=int(step))
+
+    @staticmethod
+    def from_runs(bounds) -> "PageSet":
+        """Build from an iterable of ``(start, stop)`` intervals (any
+        order, overlaps and adjacency merged)."""
+        pairs = sorted((int(lo), int(hi)) for lo, hi in bounds if hi > lo)
+        if not pairs:
+            return PageSet.empty()
+        if pairs[0][0] < 0:
+            raise ValueError("page indices must be non-negative")
+        starts = np.fromiter((p[0] for p in pairs), dtype=np.int64)
+        stops = np.fromiter((p[1] for p in pairs), dtype=np.int64)
+        return PageSet._from_bounds(starts, stops)
+
+    @staticmethod
+    def from_mask(mask: np.ndarray, base: int = 0) -> "PageSet":
+        """The set ``{base + i : mask[i]}``, symbolic when the mask has
+        few maximal runs of ``True``."""
+        starts, stops = _mask_to_bounds(mask)
+        if starts is None:
+            return PageSet.empty()
+        return PageSet._from_bounds(starts + base, stops + base)
 
     # -- basic queries ------------------------------------------------------
 
     @property
     def is_range(self) -> bool:
-        return self.index is None
+        return self.index is None and self.runs is None and self.step == 1
+
+    @property
+    def run_count(self) -> int | None:
+        """Number of maximal contiguous runs, or ``None`` for index-array
+        sets (irregular; not tracked)."""
+        if self.runs is not None:
+            return len(self.runs)
+        if self.index is not None:
+            return None
+        if self.step > 1:
+            return self.count
+        return 1 if self.stop > self.start else 0
 
     @property
     def count(self) -> int:
         if self.index is not None:
             return int(self.index.size)
+        if self.runs is not None:
+            return sum(hi - lo for lo, hi in self.runs)
+        if self.step > 1:
+            return (self.stop - self.start + self.step - 1) // self.step
         return self.stop - self.start
 
     def __len__(self) -> int:
@@ -96,7 +165,121 @@ class PageSet:
         """Materialise the indices (avoid on huge ranges where possible)."""
         if self.index is not None:
             return self.index
+        if self.runs is not None:
+            return np.concatenate(
+                [np.arange(lo, hi, dtype=np.int64) for lo, hi in self.runs]
+            )
+        if self.step > 1:
+            return np.arange(self.start, self.stop, self.step, dtype=np.int64)
         return np.arange(self.start, self.stop, dtype=np.int64)
+
+    # -- internal representation helpers -----------------------------------
+
+    @staticmethod
+    def _from_sorted(idx: np.ndarray) -> "PageSet":
+        """Internal: build from an already-sorted unique int64 array."""
+        if idx.size == 0:
+            return PageSet.empty()
+        lo, hi = int(idx[0]), int(idx[-1])
+        if hi - lo + 1 == idx.size:
+            return PageSet(lo, hi + 1)
+        # Re-symbolise: indices with few contiguous runs become an
+        # interval list (run boundaries found vectorised, O(n)).
+        brk = np.flatnonzero(np.diff(idx) != 1) + 1
+        if brk.size < MAX_SYMBOLIC_RUNS:
+            starts = idx[np.concatenate(([0], brk))]
+            stops = idx[np.concatenate((brk - 1, [idx.size - 1]))] + 1
+            return PageSet(
+                lo,
+                hi + 1,
+                runs=tuple(zip(starts.tolist(), stops.tolist())),
+            )
+        return PageSet(lo, hi + 1, idx)
+
+    @staticmethod
+    def _from_bounds(starts: np.ndarray, stops: np.ndarray) -> "PageSet":
+        """Internal: build from sorted, non-overlapping (possibly
+        adjacent) interval bounds, choosing the densest representation."""
+        k = int(starts.size)
+        if k == 0:
+            return PageSet.empty()
+        if k > 1:
+            # Merge adjacent/overlapping runs (vectorised).
+            hi_cum = np.maximum.accumulate(stops)
+            new_run = np.empty(k, dtype=bool)
+            new_run[0] = True
+            np.greater(starts[1:], hi_cum[:-1], out=new_run[1:])
+            if not new_run.all():
+                first = np.flatnonzero(new_run)
+                last = np.concatenate((first[1:] - 1, [k - 1]))
+                starts = starts[first]
+                stops = hi_cum[last]
+                k = int(starts.size)
+        if k == 1:
+            return PageSet(int(starts[0]), int(stops[0]))
+        if k <= MAX_SYMBOLIC_RUNS:
+            return PageSet(
+                int(starts[0]),
+                int(stops[-1]),
+                runs=tuple(zip(starts.tolist(), stops.tolist())),
+            )
+        lens = stops - starts
+        total = int(lens.sum())
+        seg_off = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        idx = np.arange(total, dtype=np.int64) + np.repeat(starts - seg_off, lens)
+        return PageSet(int(idx[0]), int(idx[-1]) + 1, idx)
+
+    def _bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """This set as sorted disjoint interval bounds ``(starts, stops)``.
+
+        O(1)/O(runs) for the symbolic representations; strided and index
+        sets degrade to one run per gap-separated group.
+        """
+        if self.runs is not None:
+            arr = np.asarray(self.runs, dtype=np.int64)
+            return arr[:, 0], arr[:, 1]
+        if self.index is not None:
+            idx = self.index
+            brk = np.flatnonzero(np.diff(idx) != 1) + 1
+            starts = idx[np.concatenate(([0], brk))]
+            stops = idx[np.concatenate((brk - 1, [idx.size - 1]))] + 1
+            return starts, stops
+        if self.step > 1:
+            starts = np.arange(self.start, self.stop, self.step, dtype=np.int64)
+            return starts, starts + 1
+        return (
+            np.asarray([self.start], dtype=np.int64),
+            np.asarray([self.stop], dtype=np.int64),
+        )
+
+    @staticmethod
+    def _sweep(a: "PageSet", b: "PageSet", want: int) -> "PageSet":
+        """Interval-list set algebra via a vectorised boundary sweep.
+
+        ``a`` contributes coverage 1, ``b`` contributes coverage 2, so a
+        segment's coverage is 1 (a only), 2 (b only), or 3 (both); it is
+        kept when bit ``coverage`` of ``want`` is set (union: 0b1110,
+        intersection: 0b1000, difference a-b: 0b0010).
+        O((runs_a + runs_b) log) in the run counts, never the page count.
+        """
+        a_lo, a_hi = a._bounds()
+        b_lo, b_hi = b._bounds()
+        pos = np.concatenate((a_lo, a_hi, b_lo, b_hi))
+        weight = np.concatenate(
+            (
+                np.full(a_lo.size, 1, dtype=np.int64),
+                np.full(a_hi.size, -1, dtype=np.int64),
+                np.full(b_lo.size, 2, dtype=np.int64),
+                np.full(b_hi.size, -2, dtype=np.int64),
+            )
+        )
+        order = np.argsort(pos, kind="stable")
+        pos = pos[order]
+        cov = np.cumsum(weight[order])
+        keep = (pos[1:] > pos[:-1]) & (((want >> cov[:-1]) & 1) == 1)
+        if not keep.any():
+            return PageSet.empty()
+        return PageSet._from_bounds(pos[:-1][keep], pos[1:][keep])
 
     # -- set algebra ---------------------------------------------------------
 
@@ -106,16 +289,18 @@ class PageSet:
         if self.is_range and other.is_range:
             lo, hi = max(self.start, other.start), min(self.stop, other.stop)
             return PageSet.range(lo, hi) if lo < hi else PageSet.empty()
-        if self.is_range:
+        if self.step > 1 and other.is_range:
+            return self._strided_clip(other.start, other.stop)
+        if other.step > 1 and self.is_range:
+            return other._strided_clip(self.start, self.stop)
+        if self.is_range and other.index is not None:
             idx = other.index
             return PageSet._from_sorted(
                 idx[(idx >= self.start) & (idx < self.stop)]
             )
-        if other.is_range:
+        if other.is_range and self.index is not None:
             return other.intersect(self)
-        return PageSet._from_sorted(
-            np.intersect1d(self.index, other.index, assume_unique=True)
-        )
+        return PageSet._sweep(self, other, want=0b1000)
 
     def union(self, other: "PageSet") -> "PageSet":
         if not self:
@@ -131,14 +316,12 @@ class PageSet:
             return PageSet.range(
                 min(self.start, other.start), max(self.stop, other.stop)
             )
-        return PageSet.of(np.concatenate([self.indices(), other.indices()]))
+        return PageSet._sweep(self, other, want=0b1110)
 
     def difference(self, other: "PageSet") -> "PageSet":
         if not self or not other:
             return self
         if other.is_range and self.is_range:
-            # Possibly splits the range in two; fall back to indices only
-            # for the split case.
             if other.start <= self.start and other.stop >= self.stop:
                 return PageSet.empty()
             if other.stop <= self.start or other.start >= self.stop:
@@ -147,23 +330,29 @@ class PageSet:
                 return PageSet.range(other.stop, self.stop)
             if other.stop >= self.stop:
                 return PageSet.range(self.start, other.start)
-        mine = self.indices()
-        mask = np.ones(mine.size, dtype=bool)
-        if other.is_range:
-            mask &= (mine < other.start) | (mine >= other.stop)
-        else:
-            mask &= ~np.isin(mine, other.index, assume_unique=True)
-        return PageSet._from_sorted(mine[mask])
+            # A hole punched mid-range: two symbolic runs, O(1).
+            return PageSet(
+                self.start,
+                self.stop,
+                runs=(
+                    (self.start, int(other.start)),
+                    (int(other.stop), self.stop),
+                ),
+            )
+        if other.is_range and (self.stop <= other.start or other.stop <= self.start):
+            return self
+        return PageSet._sweep(self, other, want=0b0010)
 
-    @staticmethod
-    def _from_sorted(idx: np.ndarray) -> "PageSet":
-        """Internal: build from an already-sorted unique int64 array."""
-        if idx.size == 0:
+    def _strided_clip(self, lo: int, hi: int) -> "PageSet":
+        """This strided set restricted to ``[lo, hi)`` — stays symbolic."""
+        lo = max(self.start, lo)
+        hi = min(self.stop, hi)
+        if lo >= hi:
             return PageSet.empty()
-        lo, hi = int(idx[0]), int(idx[-1])
-        if hi - lo + 1 == idx.size:
-            return PageSet(lo, hi + 1)
-        return PageSet(lo, hi + 1, idx)
+        first = self.start + -(-(lo - self.start) // self.step) * self.step
+        if first >= hi:
+            return PageSet.empty()
+        return PageSet.strided(first, hi, self.step)
 
     def take_first(self, k: int) -> "PageSet":
         """The ``k`` lowest-numbered pages (used by budget-capped actions)."""
@@ -171,49 +360,96 @@ class PageSet:
             return PageSet.empty()
         if k >= self.count:
             return self
+        if self.runs is not None:
+            out = []
+            remaining = k
+            for lo, hi in self.runs:
+                n = min(hi - lo, remaining)
+                out.append((lo, lo + n))
+                remaining -= n
+                if remaining == 0:
+                    break
+            return PageSet.from_runs(out)
+        if self.step > 1:
+            return PageSet.strided(
+                self.start, self.start + (k - 1) * self.step + 1, self.step
+            )
         if self.is_range:
             return PageSet.range(self.start, self.start + k)
         return PageSet._from_sorted(self.index[:k])
+
+    def select(self, mask: np.ndarray) -> "PageSet":
+        """Subset of this set at the positions where ``mask`` is True.
+
+        ``mask`` is positional, aligned with :meth:`view`'s element order
+        (ascending page number). Stays symbolic when the matching pages
+        form few runs.
+        """
+        if self.is_range:
+            return PageSet.from_mask(mask, self.start)
+        if self.runs is not None:
+            bounds = []
+            off = 0
+            for lo, hi in self.runs:
+                n = hi - lo
+                starts, stops = _mask_to_bounds(mask[off : off + n])
+                if starts is not None:
+                    bounds.extend(zip((starts + lo).tolist(), (stops + lo).tolist()))
+                off += n
+            return PageSet.from_runs(bounds)
+        if self.step > 1:
+            rel = np.flatnonzero(mask).astype(np.int64)
+            return PageSet._from_sorted(self.start + rel * self.step)
+        return PageSet._from_sorted(self.index[mask])
 
     # -- vectorised views over per-page state arrays ---------------------------
 
     def view(self, state: np.ndarray) -> np.ndarray:
         """A (possibly writable) view/selection of ``state`` at these pages.
 
-        Range page sets return a slice view (zero copy, writable in place);
-        index page sets return a fancy-indexed copy — use :meth:`assign`
-        for writes in that case.
+        Range and strided page sets return a slice view (zero copy,
+        writable in place); interval-list and index page sets return a
+        copy — use :meth:`assign` for writes in those cases.
         """
-        if self.is_range:
-            return state[self.start : self.stop]
-        return state[self.index]
+        if self.runs is not None:
+            return np.concatenate([state[lo:hi] for lo, hi in self.runs])
+        if self.index is not None:
+            return state[self.index]
+        if self.step > 1:
+            return state[self.start : self.stop : self.step]
+        return state[self.start : self.stop]
 
     def assign(self, state: np.ndarray, value) -> None:
         """Write ``value`` into ``state`` at these pages, vectorised."""
-        if self.is_range:
-            state[self.start : self.stop] = value
-        else:
+        if self.runs is not None:
+            for lo, hi in self.runs:
+                state[lo:hi] = value
+        elif self.index is not None:
             state[self.index] = value
+        elif self.step > 1:
+            state[self.start : self.stop : self.step] = value
+        else:
+            state[self.start : self.stop] = value
 
     def add_at(self, state: np.ndarray, value) -> None:
-        if self.is_range:
-            state[self.start : self.stop] += value
-        else:
+        if self.runs is not None:
+            for lo, hi in self.runs:
+                state[lo:hi] += value
+        elif self.index is not None:
             # np.add.at is required for correctness with duplicate indices,
             # but our indices are unique so fancy-index += is safe & faster.
             state[self.index] += value
+        elif self.step > 1:
+            state[self.start : self.stop : self.step] += value
+        else:
+            state[self.start : self.stop] += value
 
     def where(self, state: np.ndarray, value) -> "PageSet":
         """Subset of these pages whose ``state`` equals ``value``."""
-        if self.is_range:
-            rel = np.flatnonzero(state[self.start : self.stop] == value)
-            if rel.size == self.count:
-                return self
-            return PageSet._from_sorted(rel + self.start)
-        mask = state[self.index] == value
+        mask = self.view(state) == value
         if mask.all():
             return self
-        return PageSet._from_sorted(self.index[mask])
+        return self.select(mask)
 
     def count_where(self, state: np.ndarray, value) -> int:
         return int(np.count_nonzero(self.view(state) == value))
@@ -228,32 +464,86 @@ class PageSet:
         """
         if granule_pages <= 1 or not self:
             return self
+        g = granule_pages
         if self.is_range:
-            lo = (self.start // granule_pages) * granule_pages
-            hi = -(-self.stop // granule_pages) * granule_pages
+            lo = (self.start // g) * g
+            hi = -(-self.stop // g) * g
             return PageSet.range(lo, hi)
-        blocks = np.unique(self.index // granule_pages)
-        offs = np.arange(granule_pages, dtype=np.int64)
-        return PageSet.of((blocks[:, None] * granule_pages + offs).ravel())
+        if self.runs is not None:
+            starts = np.fromiter(
+                ((lo // g) * g for lo, _ in self.runs), dtype=np.int64
+            )
+            stops = np.fromiter(
+                (-(-hi // g) * g for _, hi in self.runs), dtype=np.int64
+            )
+            return PageSet._from_bounds(starts, stops)
+        if self.step > 1 and self.step <= g:
+            # Consecutive elements are at most one block apart, so every
+            # aligned block within the bounds is touched.
+            lo = (self.start // g) * g
+            hi = -(-self.stop // g) * g
+            return PageSet.range(lo, hi)
+        blocks = self.blocks(g)
+        return PageSet._from_bounds(blocks * g, blocks * g + g)
 
     def blocks(self, granule_pages: int) -> np.ndarray:
         """Distinct ``granule_pages``-sized block ids touched by this set."""
         if not self:
             return np.empty(0, dtype=np.int64)
+        g = granule_pages
         if self.is_range:
-            lo = self.start // granule_pages
-            hi = (self.stop - 1) // granule_pages
+            lo = self.start // g
+            hi = (self.stop - 1) // g
             return np.arange(lo, hi + 1, dtype=np.int64)
-        return np.unique(self.index // granule_pages)
+        if self.runs is not None:
+            return np.unique(
+                np.concatenate(
+                    [
+                        np.arange(lo // g, (hi - 1) // g + 1, dtype=np.int64)
+                        for lo, hi in self.runs
+                    ]
+                )
+            )
+        if self.step > 1 and self.step <= g:
+            return np.arange(
+                self.start // g, (self.stop - 1) // g + 1, dtype=np.int64
+            )
+        return np.unique(self.indices() // g)
 
     def clip(self, n_pages: int) -> "PageSet":
         """Restrict to valid page numbers of an ``n_pages`` allocation."""
+        if self.start >= 0 and self.stop <= n_pages:
+            return self
         return self.intersect(PageSet.range(0, n_pages))
 
     def __repr__(self) -> str:
         if self.is_range:
             return f"PageSet[{self.start}:{self.stop}]"
+        if self.step > 1:
+            return f"PageSet[{self.start}:{self.stop}:{self.step}]"
+        if self.runs is not None:
+            return (
+                f"PageSet({self.count} pages, {len(self.runs)} runs in "
+                f"[{self.start}, {self.stop}))"
+            )
         return f"PageSet({self.count} pages in [{self.start}, {self.stop}))"
+
+
+def _mask_to_bounds(
+    mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray] | tuple[None, None]:
+    """Run bounds (relative starts/stops) of the True runs of ``mask``."""
+    if mask.size == 0 or not mask.any():
+        return None, None
+    m = mask.view(np.int8) if mask.dtype == bool else mask.astype(np.int8)
+    d = np.diff(m)
+    starts = np.flatnonzero(d == 1).astype(np.int64) + 1
+    stops = np.flatnonzero(d == -1).astype(np.int64) + 1
+    if m[0]:
+        starts = np.concatenate(([0], starts))
+    if m[-1]:
+        stops = np.concatenate((stops, [m.size]))
+    return starts, stops
 
 
 def pages_of_byte_range(

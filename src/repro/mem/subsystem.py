@@ -152,7 +152,7 @@ class MemorySubsystem:
             self.physical.cpu.release(alloc.bytes_at(Location.CPU), f"pin:{alloc.aid}")
             self.system_table.unregister(alloc)
         alloc.freed = True
-        self.counters.total.add(tlb_shootdowns=1)
+        self.counters.bump(tlb_shootdowns=1)
         return seconds
 
     # -- epoch servicing -------------------------------------------------------
@@ -222,12 +222,12 @@ class MemorySubsystem:
         local_bytes = shape.useful_bytes * n_local
         if processor is Processor.GPU:
             res.hbm_bytes += local_bytes
-            self.counters.total.add(
+            self.counters.bump(
                 **{("hbm_write_bytes" if write else "hbm_read_bytes"): local_bytes}
             )
         else:
             res.lpddr_bytes += local_bytes
-            self.counters.total.add(
+            self.counters.bump(
                 **{("lpddr_write_bytes" if write else "lpddr_read_bytes"): local_bytes}
             )
 
@@ -237,7 +237,7 @@ class MemorySubsystem:
             res.remote_bytes += wire
             res.remote_seconds += self.link.remote_access_time(wire, processor)
             if processor is Processor.GPU:
-                self.counters.total.add(
+                self.counters.bump(
                     **{("c2c_write_bytes" if write else "c2c_read_bytes"): wire}
                 )
                 accesses_per_page = max(
@@ -248,7 +248,7 @@ class MemorySubsystem:
                     alloc, remote_pages, accesses_per_page
                 )
             else:
-                self.counters.total.add(
+                self.counters.bump(
                     **{
                         (
                             "cpu_remote_write_bytes"
@@ -281,7 +281,7 @@ class MemorySubsystem:
         res = AccessResult()
         res.hbm_bytes = shape.useful_bytes * pages.count
         res.consumed_bytes = res.hbm_bytes
-        self.counters.total.add(
+        self.counters.bump(
             **{("hbm_write_bytes" if write else "hbm_read_bytes"): res.hbm_bytes}
         )
         return res
@@ -299,14 +299,14 @@ class MemorySubsystem:
         res.consumed_bytes = useful
         if processor is Processor.CPU:
             res.lpddr_bytes = useful
-            self.counters.total.add(
+            self.counters.bump(
                 **{("lpddr_write_bytes" if write else "lpddr_read_bytes"): useful}
             )
         else:
             wire = self.fabric.remote_traffic(processor, shape, pages.count)
             res.remote_bytes = wire
             res.remote_seconds = self.link.remote_access_time(wire, processor)
-            self.counters.total.add(
+            self.counters.bump(
                 **{("c2c_write_bytes" if write else "c2c_read_bytes"): wire}
             )
         return res

@@ -47,7 +47,8 @@ class TraceRecord:
     useful_bytes: int
     element_bytes: int
     density: float
-    #: Either ``("range", start, stop)`` or ``("indices", [..])``.
+    #: ``("range", start, stop)``, ``("runs", [[start, stop], ..])``, or
+    #: ``("indices", [..])``.
     pages: tuple
 
     def to_json(self) -> str:
@@ -66,6 +67,8 @@ class TraceRecord:
         kind = self.pages[0]
         if kind == "range":
             return PageSet.range(self.pages[1], self.pages[2])
+        if kind == "runs":
+            return PageSet.from_runs(self.pages[1])
         return PageSet.of(np.asarray(self.pages[1], dtype=np.int64))
 
     def shape(self) -> AccessShape:
@@ -100,8 +103,11 @@ class AccessTrace:
             ps = rec.pageset()
             if ps.is_range:
                 pages.update(range(ps.start, ps.stop))
+            elif ps.runs is not None:
+                for lo, hi in ps.runs:
+                    pages.update(range(lo, hi))
             else:
-                pages.update(int(i) for i in ps.index)
+                pages.update(int(i) for i in ps.indices())
             sizes[rec.alloc_name] = rec.alloc_bytes
             page_sizes[rec.alloc_name] = rec.page_size
         for name, pages in touched.items():
@@ -157,11 +163,13 @@ _MAX_STORED_INDICES = 4096
 def _compact(pages: PageSet) -> tuple:
     if pages.is_range:
         return ("range", pages.start, pages.stop)
+    if pages.runs is not None:
+        return ("runs", [[lo, hi] for lo, hi in pages.runs])
     if pages.count > _MAX_STORED_INDICES:
         # Degrade gracefully: record the bounding range (documented loss
         # of sparsity information for huge gathers).
         return ("range", pages.start, pages.stop)
-    return ("indices", pages.index.tolist())
+    return ("indices", pages.indices().tolist())
 
 
 class TraceRecorder:

@@ -171,6 +171,10 @@ class SimClock:
         self._queue.clear()
         self._listeners.clear()
         self.trace.clear()
+        # Restart the tie-break sequence too, so event ordering is
+        # reproducible across back-to-back runs in one process (pooled
+        # experiment workers reuse the interpreter).
+        self._seq = itertools.count()
 
 
 class Stopwatch:

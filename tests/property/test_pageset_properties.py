@@ -8,11 +8,26 @@ from repro.mem.pageset import PageSet
 
 MAX_PAGE = 512
 
+def _runs_from_bounds(bounds: list[int]) -> PageSet:
+    bounds = sorted(set(bounds))
+    return PageSet.from_runs(list(zip(bounds[::2], bounds[1::2])))
+
+
 page_sets = st.one_of(
     st.tuples(
         st.integers(0, MAX_PAGE), st.integers(0, MAX_PAGE)
     ).map(lambda t: PageSet.range(min(t), max(t))),
     st.lists(st.integers(0, MAX_PAGE - 1), max_size=64).map(PageSet.of),
+    # Symbolic interval lists built from sorted distinct boundaries.
+    st.lists(
+        st.integers(0, MAX_PAGE), min_size=2, max_size=16, unique=True
+    ).map(_runs_from_bounds),
+    # Strided arithmetic progressions.
+    st.tuples(
+        st.integers(0, MAX_PAGE // 2),
+        st.integers(0, MAX_PAGE // 2),
+        st.integers(1, 17),
+    ).map(lambda t: PageSet.strided(t[0], t[0] + t[1], t[2])),
 )
 
 
@@ -79,3 +94,47 @@ def test_where_partition(a, seed_mod):
     for i in range(3):
         for j in range(i + 1, 3):
             assert not parts[i] & parts[j]
+
+
+@given(
+    st.integers(0, MAX_PAGE // 2),
+    st.integers(0, MAX_PAGE // 2),
+    st.integers(1, 17),
+)
+def test_strided_matches_python_range(start, length, step):
+    ps = PageSet.strided(start, start + length, step)
+    assert as_set(ps) == set(range(start, start + length, step))
+
+
+@given(page_sets)
+def test_of_indices_round_trips(a):
+    """Re-symbolising the materialised indices preserves the set."""
+    assert as_set(PageSet.of(a.indices())) == as_set(a)
+
+
+@given(page_sets)
+def test_from_mask_round_trips(a):
+    mask = np.zeros(MAX_PAGE + 1, dtype=bool)
+    idx = a.indices()
+    mask[idx] = True
+    assert as_set(PageSet.from_mask(mask)) == as_set(a)
+
+
+@given(page_sets)
+def test_select_matches_boolean_indexing(a):
+    """select(mask) keeps positions in view order, like fancy indexing."""
+    idx = a.indices()
+    mask = (idx % 2).astype(bool)
+    assert list(a.select(mask).indices()) == list(idx[mask])
+
+
+@given(page_sets, page_sets)
+def test_algebra_results_stay_canonical(a, b):
+    """Results of the set algebra keep runs sorted, disjoint, non-adjacent."""
+    for r in (a.union(b), a.intersect(b), a.difference(b)):
+        if r.runs is not None:
+            assert len(r.runs) >= 2
+            for (lo, hi), (lo2, _) in zip(r.runs, r.runs[1:]):
+                assert lo < hi < lo2  # sorted and with a real gap
+            assert r.runs[-1][0] < r.runs[-1][1]
+            assert (r.start, r.stop) == (r.runs[0][0], r.runs[-1][1])

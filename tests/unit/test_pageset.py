@@ -152,6 +152,78 @@ class TestGranularity:
         assert list(PageSet.of([2, 50]).clip(10).indices()) == [2]
 
 
+class TestSymbolicRepresentation:
+    """Hot-path ops on multi-million-page sets must stay symbolic: no
+    index array may be materialised when the result is a few runs."""
+
+    N = 2 * 1024 * 1024  # two million pages = the paper's 128 GB / 64 KB
+
+    def test_difference_middle_split_is_two_runs(self):
+        hole = PageSet.range(0, self.N).difference(
+            PageSet.range(1000, self.N - 1000)
+        )
+        assert hole.index is None
+        assert hole.run_count == 2
+        assert hole.count == 2000
+
+    def test_union_of_disjoint_ranges_is_two_runs(self):
+        u = PageSet.range(0, 1000).union(
+            PageSet.range(self.N - 1000, self.N)
+        )
+        assert u.index is None
+        assert u.run_count == 2
+        assert u.count == 2000
+
+    def test_chained_algebra_stays_symbolic(self):
+        a = PageSet.range(0, self.N)
+        holes = PageSet.from_runs(
+            [(k * (self.N // 8) + 5, k * (self.N // 8) + 500) for k in range(8)]
+        )
+        d = a.difference(holes)
+        assert d.index is None and d.run_count <= 9
+        back = d.union(holes)
+        assert back.index is None and back.is_range
+        assert back.count == self.N
+
+    def test_align_down_of_runs_stays_symbolic(self):
+        ps = PageSet.from_runs([(3, 5), (self.N - 7, self.N - 2)])
+        aligned = ps.align_down(16)
+        assert aligned.index is None
+        assert aligned.run_count == 2
+
+    def test_strided_construction_never_materialises(self):
+        ps = PageSet.strided(0, self.N, 16)
+        assert ps.index is None
+        assert ps.count == self.N // 16
+
+    def test_strided_intersect_range_stays_symbolic(self):
+        ps = PageSet.strided(0, self.N, 16)
+        clipped = ps.intersect(PageSet.range(0, self.N // 2))
+        assert clipped.index is None
+        assert clipped.count == self.N // 32
+
+    def test_strided_state_ops_touch_only_stride(self):
+        n = 1 << 16
+        state = np.zeros(n, dtype=np.int8)
+        PageSet.strided(0, n, 4).assign(state, 2)
+        assert state.sum() == 2 * (n // 4)
+        assert state[0] == 2 and state[1] == 0
+
+    def test_from_mask_of_chunky_state_stays_symbolic(self):
+        state = np.zeros(self.N, dtype=np.int8)
+        state[: self.N // 2] = 1
+        state[-1000:] = 1
+        ps = PageSet.from_mask(state == 1)
+        assert ps.index is None
+        assert ps.run_count == 2
+
+    def test_many_fragments_fall_back_to_indices(self):
+        # Beyond MAX_SYMBOLIC_RUNS the interval list would be slower than
+        # an index array; the representation must degrade, not explode.
+        frag = PageSet.of(np.arange(0, 4096, 2))
+        assert frag.runs is None
+
+
 class TestByteRanges:
     def test_pages_of_byte_range(self):
         ps = pages_of_byte_range(0, 4096, 4096)

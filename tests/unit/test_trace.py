@@ -40,9 +40,14 @@ class TestRecording:
         trace = record_workload(fresh())
         assert trace.records[0].pages[0] == "range"
 
-    def test_sparse_pagesets_keep_indices(self):
+    def test_sparse_pagesets_keep_sparsity(self):
         trace = record_workload(fresh())
-        assert trace.records[2].pages[0] == "indices"
+        rec = trace.records[2]
+        # Sparse gathers must not degrade to their bounding range: either
+        # exact indices or a symbolic run list is acceptable.
+        assert rec.pages[0] in ("indices", "runs")
+        ps = rec.pageset()
+        assert ps.count < ps.stop - ps.start
 
     def test_recorder_restores_access(self):
         from repro.mem.subsystem import MemorySubsystem
