@@ -1,0 +1,30 @@
+"""Multi-superchip topology scaling (beyond the paper).
+
+Regenerates the ``topo_scaling`` sweep and asserts its qualitative
+shape: near-linear strong scaling for the halo-exchange stencil,
+fabric-bound flattening for the distributed statevector, and fabric
+traffic confined to the links each workload should use.
+"""
+
+from conftest import by
+
+
+def test_topo_scaling(regenerate):
+    result = regenerate("topo_scaling", scale=0.1)
+    hot = {r["superchips"]: r for r in by(result.rows, "app", "hotspot-sharded")}
+    qv = {r["superchips"]: r for r in by(result.rows, "app", "qv-sharded")}
+
+    # Compute-bound stencil: near-linear speedup.
+    assert hot[2]["speedup"] > 1.6
+    assert hot[4]["speedup"] > 3.0
+    # Exchange-heavy statevector: fabric-bound, scaling flattens far
+    # below linear and the exchange dominates the layer time.
+    assert qv[4]["speedup"] < 2.0
+    assert qv[2]["exchange_s"] > qv[2]["compute_s"]
+    # Per-link traffic: the butterfly rides the GPU-GPU NVLink fabric,
+    # never the CPU socket link; one superchip has no fabric traffic.
+    assert qv[2]["nvlink_gb"] > 0.0
+    assert qv[2]["socket_gb"] == 0.0
+    assert hot[1]["exchange_gb"] == 0.0 and qv[1]["exchange_gb"] == 0.0
+    # Exchange volume is O(state), independent of the shard count.
+    assert qv[2]["exchange_gb"] == qv[4]["exchange_gb"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Sweep superchip count x NUMA policy for the sharded workloads.
+
+Runs the ``topo_scaling`` experiment once per node-level NUMA policy
+through ``run_experiments_parallel`` — each invocation sweeps 1/2/4
+superchips for both sharded applications, and the on-disk result cache
+makes repeated sweeps (re-plotting, diffing policies) free. Ends with a
+compact cross-policy summary of the 4-superchip speedups.
+
+Run:  python examples/multi_gpu_sweep.py [--scale 0.1] [--jobs 4]
+"""
+
+import argparse
+import time
+
+from repro.bench import ResultCache, render_table, run_experiments_parallel
+
+POLICIES = ("default", "ddr", "hbm", "interleave")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="problem/machine scale (1.0 = paper testbed)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes per invocation")
+    parser.add_argument("--superchips", type=int, nargs="+", default=[1, 2, 4],
+                        help="superchip counts to sweep")
+    parser.add_argument("--policies", nargs="+", default=list(POLICIES),
+                        choices=POLICIES, help="NUMA policies to sweep")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache location (default: ~/.cache/repro-bench)")
+    args = parser.parse_args()
+
+    cache = ResultCache(args.cache_dir)
+    results = {}
+    t0 = time.perf_counter()
+    for policy in args.policies:
+        out = run_experiments_parallel(
+            ["topo_scaling"],
+            jobs=args.jobs,
+            cache=cache,
+            kwargs={
+                "scale": args.scale,
+                "superchips": tuple(args.superchips),
+                "numa_policy": policy,
+            },
+        )
+        results[policy] = out["topo_scaling"]
+    dt = time.perf_counter() - t0
+
+    for policy, result in results.items():
+        print(f"--- numa_policy={policy} ---")
+        print(render_table(result))
+        print()
+
+    top = max(args.superchips)
+    print(f"{top}-superchip speedup by policy:")
+    for policy, result in results.items():
+        for row in result.rows:
+            if row["superchips"] == top:
+                print(f"  {policy:<11} {row['app']:<16} {row['speedup']:.2f}x")
+    print(
+        f"\n{len(results)} policy sweep(s) in {dt:.1f}s "
+        f"({cache.hits} cached, {cache.misses} regenerated)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -276,10 +276,8 @@ class QuantumVolume(Application):
                     activity="qiskit-pipeline-dma",
                 )
                 gh.counters.total.add(explicit_copy_bytes=2 * chunk_bytes)
-                gh.mem.link.stats.h2d_bytes += chunk_bytes
-                gh.mem.link.stats.d2h_bytes += chunk_bytes
-                gh.mem.link.stats.h2d_seconds += h2d
-                gh.mem.link.stats.d2h_seconds += d2h
+                gh.mem.link.account_external(chunk_bytes, Processor.CPU, h2d)
+                gh.mem.link.account_external(chunk_bytes, Processor.GPU, d2h)
 
     def teardown(self, gh: GraceHopperSystem) -> None:
         if self._chunked:

@@ -66,6 +66,25 @@ def make_config(
     )
 
 
+def make_topology_config(
+    n_superchips: int,
+    scale: float = 1.0,
+    *,
+    page_size: int = 64 * 1024,
+    migration: bool = True,
+    **overrides,
+) -> SystemConfig:
+    """An N-superchip node of (optionally capacity-scaled) testbed chips,
+    with the same defaults :func:`make_config` uses for the paper runs."""
+    return SystemConfig.multi_superchip(
+        n_superchips,
+        scale=scale,
+        page_size=page_size,
+        migration_enable=migration,
+        **overrides,
+    )
+
+
 def scaled_qubits(qubits: int, scale: float) -> int:
     """Scale a qubit count: halving ``scale`` removes one qubit, keeping
     statevector-to-GPU-memory ratios intact."""

@@ -31,7 +31,7 @@ from typing import Iterable
 
 from .. import __version__
 from ..sim.config import SystemConfig
-from .experiments import experiment_ids, run_experiment
+from .experiments import experiment_descriptions, experiment_ids, run_experiment
 from .harness import ExperimentResult
 
 #: Bump to invalidate every existing cache entry after a change to the
@@ -49,10 +49,22 @@ def _default_cache_root() -> Path:
 
 
 def config_fingerprint(config: SystemConfig | None = None) -> str:
-    """Stable digest of every model constant the experiments consume."""
+    """Stable digest of every model constant the experiments consume.
+
+    Folds in the declarative topology description (nodes, links,
+    bandwidths) so cache entries produced under different fabric shapes
+    can never collide, even if a future topology knob were derived
+    outside ``SystemConfig`` itself."""
+    from ..topology.model import Topology
+
     config = config or SystemConfig.paper_gh200()
     payload = json.dumps(
-        dataclasses.asdict(config), sort_keys=True, default=str
+        {
+            "config": dataclasses.asdict(config),
+            "topology": Topology.from_config(config).describe(),
+        },
+        sort_keys=True,
+        default=str,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
@@ -254,6 +266,10 @@ def main_run(argv: list[str] | None = None) -> int:
         "--all", action="store_true", help="run the full registry"
     )
     parser.add_argument(
+        "--list", action="store_true",
+        help="list registered experiment ids with descriptions and exit",
+    )
+    parser.add_argument(
         "--jobs", "-j", type=int, default=os.cpu_count() or 1,
         help="worker processes (default: CPU count)",
     )
@@ -285,6 +301,13 @@ def main_run(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", help="also write all results to a JSON file"
     )
     args = parser.parse_args(argv)
+
+    if args.list:
+        descriptions = experiment_descriptions()
+        width = max(len(e) for e in descriptions)
+        for exp_id, desc in descriptions.items():
+            print(f"{exp_id:<{width}}  {desc}")
+        return 0
 
     wanted = list(args.experiments)
     if args.all or not wanted:

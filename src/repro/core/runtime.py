@@ -35,13 +35,14 @@ from .unified_array import UnifiedArray
 class GraceHopperSystem:
     """One simulated GH200 node."""
 
-    def __init__(self, config: SystemConfig | None = None):
+    def __init__(self, config: SystemConfig | None = None, *, chip: int = 0):
         self.config = config or SystemConfig()
+        self.chip = chip  # superchip index on multi-superchip nodes
         self.clock = SimClock()
         self.counters = HardwareCounters()
         self.mem = MemorySubsystem(self.config, self.counters)
-        self.gpu = GpuDevice(self.config)
-        self.cpu = CpuDevice(self.config)
+        self.gpu = GpuDevice(self.config, chip)
+        self.cpu = CpuDevice(self.config, chip)
         self.executor = KernelExecutor(
             self.config, self.clock, self.mem, self.gpu, self.cpu, self.counters
         )

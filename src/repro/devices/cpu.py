@@ -20,8 +20,9 @@ class CpuStats:
 
 
 class CpuDevice:
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, chip: int = 0):
         self.config = config
+        self.chip = chip  # superchip index on multi-superchip nodes
         self.cores = 72
         self.stats = CpuStats()
 

@@ -26,8 +26,9 @@ class GpuStats:
 
 class GpuDevice:
     """Kernel-duration and cache-traffic model of the H100 GPU."""
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, chip: int = 0):
         self.config = config
+        self.chip = chip  # superchip index on multi-superchip nodes
         self.cache = GpuCacheModel(config)
         self.stats = GpuStats()
         self.context_initialized = False

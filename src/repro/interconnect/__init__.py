@@ -1,6 +1,15 @@
-"""NVLink-C2C interconnect and explicit-copy DMA engine."""
+"""NVLink-C2C interconnect, explicit-copy DMA engine, and the
+inter-superchip fabric link primitives."""
 
 from .copyengine import CopyEngine
+from .fabric import TRAFFIC_CLASSES, FabricLink, FabricLinkStats, LinkKind
 from .nvlink import NvlinkC2C
 
-__all__ = ["NvlinkC2C", "CopyEngine"]
+__all__ = [
+    "NvlinkC2C",
+    "CopyEngine",
+    "FabricLink",
+    "FabricLinkStats",
+    "LinkKind",
+    "TRAFFIC_CLASSES",
+]

@@ -14,7 +14,7 @@ fine-grained traffic runs below the streaming rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..sim.config import Processor, SystemConfig
 
@@ -25,10 +25,25 @@ class LinkStats:
     d2h_bytes: int = 0
     h2d_seconds: float = 0.0
     d2h_seconds: float = 0.0
+    #: Byte tallies split by traffic class ("dma" / "remote" /
+    #: "migration"), updated together with the direction totals so the
+    #: class sums always equal the bytes charged per direction.
+    h2d_by_class: dict[str, int] = field(default_factory=dict)
+    d2h_by_class: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
         return self.h2d_bytes + self.d2h_bytes
+
+    def class_bytes(self, cls: str) -> int:
+        return self.h2d_by_class.get(cls, 0) + self.d2h_by_class.get(cls, 0)
+
+    def conserved(self) -> bool:
+        """Do the per-class tallies sum to the direction totals?"""
+        return (
+            sum(self.h2d_by_class.values()) == self.h2d_bytes
+            and sum(self.d2h_by_class.values()) == self.d2h_bytes
+        )
 
 
 class NvlinkC2C:
@@ -38,13 +53,25 @@ class NvlinkC2C:
         self.config = config
         self.stats = LinkStats()
 
-    def _account(self, nbytes: int, src: Processor, seconds: float) -> None:
+    def _account(
+        self, nbytes: int, src: Processor, seconds: float, cls: str
+    ) -> None:
         if src is Processor.CPU:
             self.stats.h2d_bytes += nbytes
             self.stats.h2d_seconds += seconds
+            by = self.stats.h2d_by_class
         else:
             self.stats.d2h_bytes += nbytes
             self.stats.d2h_seconds += seconds
+            by = self.stats.d2h_by_class
+        by[cls] = by.get(cls, 0) + nbytes
+
+    def account_external(
+        self, nbytes: int, src: Processor, seconds: float, cls: str = "dma"
+    ) -> None:
+        """Account traffic whose timing was computed elsewhere (e.g. the
+        explicit out-of-core pipeline overlapping DMA with compute)."""
+        self._account(nbytes, src, seconds, cls)
 
     def streaming_time(self, nbytes: int, src: Processor, dst: Processor) -> float:
         """Time for a streaming (DMA/migration) transfer of ``nbytes``."""
@@ -52,7 +79,7 @@ class NvlinkC2C:
             return 0.0
         bw = self.config.c2c_bandwidth(src, dst)
         t = nbytes / bw + self.config.c2c_latency
-        self._account(nbytes, src, t)
+        self._account(nbytes, src, t, "dma")
         return t
 
     def remote_access_time(
@@ -75,7 +102,7 @@ class NvlinkC2C:
         src = accessor.other
         bw = self.config.c2c_bandwidth(src, accessor) * eff
         t = nbytes / bw + self.config.c2c_latency
-        self._account(nbytes, src, t)
+        self._account(nbytes, src, t, "remote")
         return t
 
     def migration_time(self, nbytes: int, src: Processor, dst: Processor) -> float:
@@ -87,7 +114,7 @@ class NvlinkC2C:
             * self.config.migration_bandwidth_fraction
         )
         t = nbytes / bw + self.config.c2c_latency
-        self._account(nbytes, src, t)
+        self._account(nbytes, src, t, "migration")
         return t
 
     def achieved_bandwidth(self, direction: str) -> float:

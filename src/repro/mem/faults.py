@@ -17,7 +17,7 @@ from ..profiling.counters import HardwareCounters
 from ..sim.config import FirstTouchPolicy, Location, Processor, SystemConfig
 from .pagetable import Allocation
 from .pageset import PageSet
-from .physical import PhysicalMemory
+from .physical import OutOfMemoryError, PhysicalMemory
 from .smmu import Smmu
 
 
@@ -42,6 +42,11 @@ class FaultHandler:
         self.physical = physical
         self.smmu = smmu
         self.counters = counters
+        #: Fabric port of the owning superchip when part of a
+        #: :class:`~repro.topology.ShardedSystem` (duck-typed; ``None`` on
+        #: the default single-superchip system, which keeps the original
+        #: fail-on-CPU-exhaustion behaviour).
+        self.fabric_port = None
 
     def _tag(self, alloc: Allocation) -> str:
         return f"sys:{alloc.aid}"
@@ -77,10 +82,23 @@ class FaultHandler:
             self.physical.gpu.reserve(nbytes, tag=self._tag(alloc))
             out.pages_on_gpu = gpu_part.count
         if cpu_part:
-            nbytes = cpu_part.count * page_size
-            alloc.set_location(cpu_part, Location.CPU)
-            self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
-            out.pages_on_cpu = cpu_part.count
+            spill_part = PageSet.empty()
+            if (
+                self.fabric_port is not None
+                and cpu_part.count * page_size > self.physical.cpu.free
+            ):
+                # On a multi-superchip node the OS spills first-touch
+                # placement to a peer chip's DDR instead of failing.
+                local_fit = cpu_part.take_first(self.physical.cpu.free // page_size)
+                spill_part = cpu_part.difference(local_fit)
+                cpu_part = local_fit
+            if cpu_part:
+                nbytes = cpu_part.count * page_size
+                alloc.set_location(cpu_part, Location.CPU)
+                self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
+                out.pages_on_cpu = cpu_part.count
+            if spill_part:
+                out.pages_on_cpu += self._spill_to_peers(alloc, spill_part)
 
         n = unmapped.count
         if accessor is Processor.GPU:
@@ -97,6 +115,30 @@ class FaultHandler:
         # Figure 9 init-phase page-size speedup at ~5x instead of 16x.
         out.seconds += (n * page_size) / self.config.fault_zeroing_bandwidth
         return out
+
+    def _spill_to_peers(self, alloc: Allocation, pages: PageSet) -> int:
+        """Place ``pages`` on peer superchips' DDR (nearest first)."""
+        page_size = self.config.system_page_size
+        placed = 0
+        for node in self.fabric_port.peer_ddr_nodes():
+            if not pages:
+                break
+            pool = self.fabric_port.pool(node)
+            take = pages.take_first(pool.free // page_size)
+            if not take:
+                continue
+            nbytes = take.count * page_size
+            alloc.set_location(take, Location.REMOTE)
+            alloc.add_remote(node, take.count)
+            pool.reserve(nbytes, tag=self._tag(alloc))
+            self.counters.bump(pages_spilled_remote=take.count)
+            placed += take.count
+            pages = pages.difference(take)
+        if pages:
+            raise OutOfMemoryError(
+                f"{alloc.name}: first-touch spill exhausted every chip's DDR"
+            )
+        return placed
 
     def prepopulate(self, alloc: Allocation, pages: PageSet) -> float:
         """Populate PTEs CPU-side outside the fault path

@@ -66,6 +66,10 @@ class AccessCounterMigrator:
         self.tlbs = tlbs
         self.counters = counters
         self.notifications_seen = 0
+        #: Duck-typed fabric port on multi-superchip nodes (see
+        #: :class:`~repro.topology.ShardedSystem`); ``None`` keeps the
+        #: single-superchip behaviour untouched.
+        self.fabric_port = None
 
     # -- notification side -------------------------------------------------
 
@@ -98,10 +102,22 @@ class AccessCounterMigrator:
                 break
             if alloc.kind is not AllocKind.SYSTEM or alloc.freed:
                 continue
-            if alloc.pages_at(Location.CPU) == 0:
+            n_remote = (
+                alloc.pages_at(Location.REMOTE) if self.fabric_port else 0
+            )
+            if alloc.pages_at(Location.CPU) == 0 and n_remote == 0:
                 continue
-            cpu_pages = alloc.subset(PageSet.full(alloc.n_pages), Location.CPU)
-            hot = alloc.counters.crossed(cpu_pages, self.config.migration_threshold)
+            movable = Location.CPU if n_remote == 0 else None
+            if movable is None:
+                # Counters fire on any non-GPU-resident page the GPU keeps
+                # touching; on a multi-superchip node that includes pages
+                # spilled to a peer chip's DDR.
+                pages = alloc.subset(
+                    PageSet.full(alloc.n_pages), Location.CPU
+                ).union(alloc.subset(PageSet.full(alloc.n_pages), Location.REMOTE))
+            else:
+                pages = alloc.subset(PageSet.full(alloc.n_pages), Location.CPU)
+            hot = alloc.counters.crossed(pages, self.config.migration_threshold)
             if not hot:
                 continue
             self.notifications_seen += 1
@@ -117,6 +133,11 @@ class AccessCounterMigrator:
             take = candidates.take_first(budget_pages)
             moved = self._migrate_to_gpu(alloc, take, report)
             budget_pages -= moved
+            if n_remote and budget_pages > 0:
+                remote_candidates = alloc.subset(hot_regions, Location.REMOTE)
+                take = remote_candidates.take_first(budget_pages)
+                moved = self._migrate_remote_to_gpu(alloc, take, report)
+                budget_pages -= moved
         return report
 
     def _migrate_to_gpu(
@@ -140,6 +161,46 @@ class AccessCounterMigrator:
             nbytes
             * self.config.migration_stall_factor
             / self.config.c2c_h2d_bandwidth
+        )
+        shootdown = self.tlbs.ats_tbu.shootdown(pages.count)
+        report.pages_migrated += pages.count
+        report.bytes_migrated += nbytes
+        report.ranges += 1
+        report.transfer_seconds += transfer + self.config.migration_range_cost
+        report.stall_seconds += stall + shootdown
+        alloc.stats.pages_migrated_to_gpu += pages.count
+        self.counters.bump(
+            migration_h2d_bytes=nbytes,
+            pages_migrated_h2d=pages.count,
+            tlb_shootdowns=1,
+        )
+        return pages.count
+
+    def _migrate_remote_to_gpu(
+        self, alloc: Allocation, pages: PageSet, report: MigrationReport
+    ) -> int:
+        """Move hot peer-chip-resident ``pages`` to the local GPU over the
+        inter-chip fabric (multi-superchip nodes only)."""
+        page_size = self.config.system_page_size
+        fit_pages = self.physical.gpu.free // page_size
+        pages = pages.take_first(fit_pages)
+        if not pages:
+            return 0
+        alloc.set_location(pages, Location.GPU)
+        alloc.counters.reset(pages.align_down(
+            max(1, self.config.gpu_page_size // self.config.system_page_size)
+        ).clip(alloc.n_pages))
+        transfer = 0.0
+        nbytes = pages.count * page_size
+        for node, n_from_node in alloc.drop_remote(pages.count):
+            node_bytes = n_from_node * page_size
+            self.fabric_port.pool(node).release(node_bytes, tag=f"sys:{alloc.aid}")
+            transfer += self.fabric_port.migrate_in(node_bytes, node)
+        self.physical.gpu.reserve(nbytes, tag=f"sys:{alloc.aid}")
+        stall = (
+            nbytes
+            * self.config.migration_stall_factor
+            / self.config.nvlink_fabric_bandwidth
         )
         shootdown = self.tlbs.ats_tbu.shootdown(pages.count)
         report.pages_migrated += pages.count

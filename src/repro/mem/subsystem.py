@@ -94,6 +94,23 @@ class MemorySubsystem:
             self.fabric,
             counters,
         )
+        #: Set by :meth:`attach_fabric` on multi-superchip nodes.
+        self.fabric_port = None
+
+    # -- multi-superchip fabric -----------------------------------------------
+
+    def attach_fabric(self, port) -> None:
+        """Connect this superchip to an inter-chip fabric.
+
+        ``port`` is duck-typed (see :class:`repro.topology.FabricPort`) so
+        this package never imports :mod:`repro.topology`. It gives the
+        fault path somewhere to spill first-touch placement, the migrator
+        a path to pull hot peer-resident pages home, and the access path a
+        cost model for :attr:`Location.REMOTE` pages.
+        """
+        self.fabric_port = port
+        self.faults.fabric_port = port
+        self.migrator.fabric_port = port
 
     # -- allocation lifecycle ------------------------------------------------
 
@@ -139,6 +156,13 @@ class MemorySubsystem:
                 nbytes = alloc.bytes_at(loc)
                 if nbytes:
                     pool.release(nbytes, tag=tag)
+            if alloc.remote_pages_by_node:
+                page_size = alloc.page_size
+                for node, n_pages in list(alloc.remote_pages_by_node.items()):
+                    self.fabric_port.pool(node).release(
+                        n_pages * page_size, tag=tag
+                    )
+                alloc.remote_pages_by_node.clear()
             self.system_table.unregister(alloc)
             if alloc.kind is AllocKind.MANAGED:
                 self.gpu_table.unregister(alloc)
@@ -256,6 +280,25 @@ class MemorySubsystem:
                             else "cpu_remote_read_bytes"
                         ): wire
                     }
+                )
+
+        n_far = int(counts[Location.REMOTE])
+        if n_far and self.fabric_port is not None:
+            # Pages resident on a *peer superchip's* DDR: cacheline-grain
+            # access over the inter-chip fabric (multi-hop, derated).
+            far_pages = alloc.subset(pages, Location.REMOTE)
+            wire = self.fabric.remote_traffic(processor, shape, n_far)
+            res.remote_bytes += wire
+            res.remote_seconds += self.fabric_port.remote_access(
+                wire, alloc, processor
+            )
+            if processor is Processor.GPU:
+                accesses_per_page = max(
+                    1,
+                    (wire // max(n_far, 1)) // self.config.cacheline_bytes_gpu,
+                )
+                self.migrator.record_gpu_accesses(
+                    alloc, far_pages, accesses_per_page
                 )
 
         res.consumed_bytes = shape.useful_bytes * pages.count

@@ -31,6 +31,8 @@ class CounterSet:
     migration_d2h_bytes: int = 0
     eviction_bytes: int = 0
     explicit_copy_bytes: int = 0
+    fabric_bytes: int = 0  # payload bytes sent over the inter-chip fabric
+    fabric_hop_bytes: int = 0  # payload x links traversed (fabric load)
 
     # Events
     gpu_replayable_faults: int = 0
@@ -41,6 +43,8 @@ class CounterSet:
     pages_migrated_d2h: int = 0
     pages_evicted: int = 0
     tlb_shootdowns: int = 0
+    fabric_transfers: int = 0
+    pages_spilled_remote: int = 0  # first-touch spills to a peer chip's DDR
 
     def snapshot(self) -> "CounterSet":
         return CounterSet(**{f.name: getattr(self, f.name) for f in fields(self)})

@@ -65,10 +65,57 @@ class Location(IntEnum):
     #: heuristic: accessed remotely over NVLink-C2C, no longer migrated on
     #: demand (Section 7, 34-qubit behaviour).
     CPU_PINNED = 3
+    #: Page resident on *another superchip's* memory, reached over the
+    #: multi-superchip NVLink/socket fabric. Which peer node holds the
+    #: page is recorded per allocation (:attr:`Allocation.remote_node`);
+    #: never occurs on the default single-superchip topology.
+    REMOTE = 4
 
 
 def location_for(processor: Processor) -> Location:
     return Location.CPU if processor is Processor.CPU else Location.GPU
+
+
+class MemKind(Enum):
+    """The two memory technologies a superchip contributes as NUMA nodes."""
+
+    DDR = "ddr"  # Grace LPDDR5X
+    HBM = "hbm"  # Hopper HBM3
+
+    @property
+    def processor(self) -> Processor:
+        return Processor.CPU if self is MemKind.DDR else Processor.GPU
+
+
+@dataclass(frozen=True)
+class NodeId:
+    """One memory node of a multi-superchip topology.
+
+    Generalises the two-valued :class:`Location` residency to an
+    arbitrary ``(superchip, memory-kind)`` pair: node ``(0, DDR)`` is the
+    paper's NUMA node 0, node ``(0, HBM)`` its node 1, and chips > 0 only
+    exist on multi-superchip topologies (quad-GH200-style nodes).
+    """
+
+    chip: int
+    kind: "MemKind"
+
+    @property
+    def numa_index(self) -> int:
+        """The OS NUMA node number (chips enumerate their DDR then HBM)."""
+        return 2 * self.chip + (0 if self.kind is MemKind.DDR else 1)
+
+    def __str__(self) -> str:
+        return f"chip{self.chip}/{self.kind.value}"
+
+
+def node_for(chip: int, loc: Location) -> NodeId:
+    """The global node a *local* residency state maps to on ``chip``."""
+    if loc in (Location.CPU, Location.CPU_PINNED):
+        return NodeId(chip, MemKind.DDR)
+    if loc is Location.GPU:
+        return NodeId(chip, MemKind.HBM)
+    raise ValueError(f"no global node for local state {loc!r}")
 
 
 class FirstTouchPolicy(Enum):
@@ -137,6 +184,27 @@ class SystemConfig:
     cacheline_bytes_cpu: int = 64
     cacheline_bytes_gpu: int = 128
     c2c_latency: float = 0.75e-6
+
+    # ------------------------------------------------------------------
+    # Multi-superchip fabric (beyond the paper; quad-GH200-style nodes
+    # per Khalilov et al., see docs/model.md "Multi-superchip topology").
+    # The defaults describe a single superchip — the paper's testbed —
+    # so none of these fields affect any single-chip result.
+    # ------------------------------------------------------------------
+    #: Number of GH200 superchips on the node (1 = the paper's testbed).
+    n_superchips: int = 1
+    #: Per-direction bandwidth of one inter-superchip GPU-GPU NVLink
+    #: fabric link (quad-GH200 nodes connect every GPU pair).
+    nvlink_fabric_bandwidth: float = 150 * GB
+    nvlink_fabric_latency: float = 2.0e-6
+    #: Per-direction bandwidth of one inter-superchip CPU socket link
+    #: (the Grace CPUs' coherent CPU-to-CPU path).
+    cpu_socket_bandwidth: float = 100 * GB
+    cpu_socket_latency: float = 1.3e-6
+    #: Efficiency of fine-grained (cacheline) remote access across the
+    #: inter-chip fabric relative to its streaming rate; cross-chip
+    #: paths degrade more than the local C2C link.
+    fabric_remote_efficiency: float = 0.65
 
     # ------------------------------------------------------------------
     # Page tables and translation (Sections 2.1.2, 2.1.3)
@@ -293,6 +361,11 @@ class SystemConfig:
                 raise ValueError(f"{name} must be positive")
         if self.cpu_memory_bytes <= 0 or self.gpu_memory_bytes <= 0:
             raise ValueError("memory capacities must be positive")
+        if self.n_superchips < 1:
+            raise ValueError("n_superchips must be at least 1")
+        for name in ("nvlink_fabric_bandwidth", "cpu_socket_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
 
     def copy(self, **overrides) -> "SystemConfig":
         """Return a copy with ``overrides`` applied (and re-validated)."""
@@ -360,6 +433,28 @@ class SystemConfig:
     def paper_gh200(cls, *, page_size: int = 4 * KiB, **overrides) -> "SystemConfig":
         """The paper's testbed (Section 3) at a given system page size."""
         return cls(system_page_size=page_size, **overrides)
+
+    @classmethod
+    def multi_superchip(
+        cls,
+        n_superchips: int,
+        *,
+        scale: float = 1.0,
+        page_size: int = 4 * KiB,
+        **overrides,
+    ) -> "SystemConfig":
+        """An N-superchip node of paper-testbed GH200 chips.
+
+        Capacities and bandwidths here are *per superchip*; the node-level
+        aggregates come from :class:`repro.topology.Topology`. ``scale``
+        shrinks each chip the same way :meth:`scaled` does.
+        """
+        if n_superchips < 1:
+            raise ValueError("n_superchips must be at least 1")
+        overrides["n_superchips"] = n_superchips
+        if scale == 1.0:
+            return cls.paper_gh200(page_size=page_size, **overrides)
+        return cls.scaled(scale, page_size=page_size, **overrides)
 
     @classmethod
     def scaled(

@@ -1,0 +1,251 @@
+"""Lockstep multi-superchip execution.
+
+A :class:`ShardedSystem` runs one :class:`~repro.core.runtime.GraceHopperSystem`
+per superchip — each with its own clock, memory subsystem and counters —
+over a shared :class:`~repro.topology.Topology` and
+:class:`~repro.topology.FabricRouter`. Bulk-synchronous workloads alternate
+
+* :meth:`ShardedSystem.step` — a per-shard closure (kernel launches, CPU
+  phases) run on every shard between two barriers, timed as the slowest
+  shard;
+* :meth:`ShardedSystem.exchange` — a concurrent transfer phase routed over
+  the fabric with per-link contention, whose duration is charged to every
+  shard's clock.
+
+Each shard's memory subsystem is wired to the fabric through a
+:class:`FabricPort` (``gh.mem.attach_fabric``), which is what lets
+first-touch placement spill to a peer chip's DDR, hot peer-resident pages
+migrate home over the fabric, and :attr:`Location.REMOTE` accesses be
+charged multi-hop costs — all duck-typed, so :mod:`repro.mem` never
+imports this package.
+"""
+
+from __future__ import annotations
+
+from ..core.runtime import GraceHopperSystem
+from ..profiling.counters import CounterSet
+from ..sim.config import MemKind, NodeId, Processor, SystemConfig
+from .model import Topology
+from .routing import ExchangeOutcome, FabricRouter
+
+
+class FabricPort:
+    """One superchip's window onto the shared fabric.
+
+    Instances are attached to a shard's :class:`~repro.mem.subsystem.
+    MemorySubsystem` via ``attach_fabric`` and consumed duck-typed by the
+    fault handler, migrator and access path.
+    """
+
+    def __init__(self, system: "ShardedSystem", chip: int):
+        self.system = system
+        self.chip = chip
+        self.router = system.router
+        self.config = system.config
+
+    # -- node inventory ---------------------------------------------------
+
+    @property
+    def ddr(self) -> NodeId:
+        return NodeId(self.chip, MemKind.DDR)
+
+    @property
+    def hbm(self) -> NodeId:
+        return NodeId(self.chip, MemKind.HBM)
+
+    def pool(self, node: NodeId):
+        """The physical pool backing ``node`` (peer chips included)."""
+        phys = self.system.shards[node.chip].mem.physical
+        return phys.cpu if node.kind is MemKind.DDR else phys.gpu
+
+    def peer_ddr_nodes(self) -> list[NodeId]:
+        """Peer chips' DDR nodes, nearest (fewest hops) first — the
+        first-touch spill order."""
+        me = self.ddr
+        peers = [
+            sc.ddr for sc in self.system.topology.superchips if sc.chip != self.chip
+        ]
+        peers.sort(key=lambda n: (self.router.route(me, n).n_hops, n.chip))
+        return peers
+
+    # -- fabric traffic ---------------------------------------------------
+
+    def _bump(self, nbytes: int, n_hops: int) -> None:
+        self.system.shards[self.chip].counters.bump(
+            fabric_bytes=nbytes,
+            fabric_hop_bytes=nbytes * n_hops,
+            fabric_transfers=1,
+        )
+
+    def transfer(
+        self, nbytes: int, src: NodeId, dst: NodeId, *, cls: str = "dma"
+    ) -> float:
+        """One pipelined streaming transfer between any two nodes."""
+        if nbytes <= 0 or src == dst:
+            return 0.0
+        t = self.router.transfer(nbytes, src, dst, cls=cls)
+        self._bump(nbytes, self.router.route(src, dst).n_hops)
+        return t
+
+    def migrate_in(self, nbytes: int, owner: NodeId) -> float:
+        """Pull migrating pages from ``owner`` into this chip's HBM
+        (driver rate-limited, like local C2C migrations)."""
+        if nbytes <= 0:
+            return 0.0
+        t = self.router.transfer(
+            nbytes,
+            owner,
+            self.hbm,
+            cls="migration",
+            efficiency=self.config.migration_bandwidth_fraction,
+        )
+        self._bump(nbytes, self.router.route(owner, self.hbm).n_hops)
+        return t
+
+    def remote_access(self, wire_bytes: int, alloc, processor: Processor) -> float:
+        """Cacheline-grain access to an allocation's peer-resident pages.
+
+        ``wire_bytes`` are apportioned over the owning peer nodes by their
+        page share and each slice is charged along its route, derated by
+        :attr:`SystemConfig.fabric_remote_efficiency` (fine-grained
+        traffic never reaches the streaming rate).
+        """
+        if wire_bytes <= 0 or not alloc.remote_pages_by_node:
+            return 0.0
+        accessor = self.hbm if processor is Processor.GPU else self.ddr
+        total_pages = sum(alloc.remote_pages_by_node.values())
+        seconds = 0.0
+        remaining = wire_bytes
+        owners = sorted(alloc.remote_pages_by_node.items(), key=lambda kv: str(kv[0]))
+        for i, (node, n_pages) in enumerate(owners):
+            share = (
+                remaining
+                if i == len(owners) - 1
+                else wire_bytes * n_pages // total_pages
+            )
+            remaining -= share
+            if share <= 0:
+                continue
+            seconds += self.router.transfer(
+                share,
+                node,
+                accessor,
+                cls="remote",
+                efficiency=self.config.fabric_remote_efficiency,
+            )
+            self._bump(share, self.router.route(node, accessor).n_hops)
+        return seconds
+
+
+class ShardedSystem:
+    """N lockstepped superchip simulators over one fabric."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        n_superchips: int | None = None,
+    ):
+        base = config or SystemConfig.paper_gh200()
+        if n_superchips is not None and base.n_superchips != n_superchips:
+            base = base.copy(n_superchips=n_superchips)
+        self.config = base
+        self.topology = Topology.from_config(base)
+        self.router = FabricRouter(self.topology)
+        # Each shard gets its own config copy: per-shard tuning calls
+        # (e.g. set_migration_threshold) must not leak across chips.
+        self.shards = [
+            GraceHopperSystem(base.copy(), chip=i)
+            for i in range(base.n_superchips)
+        ]
+        self.ports = []
+        for i, gh in enumerate(self.shards):
+            port = FabricPort(self, i)
+            gh.mem.attach_fabric(port)
+            self.ports.append(port)
+
+    @property
+    def n_superchips(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __getitem__(self, chip: int) -> GraceHopperSystem:
+        return self.shards[chip]
+
+    # -- lockstep time ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Node-level wall time: the furthest-ahead shard clock."""
+        return max(gh.now for gh in self.shards)
+
+    def barrier(self, activity: str = "barrier") -> float:
+        """Synchronise all shard clocks to the slowest shard (BSP
+        barrier); returns the synchronised time."""
+        t = self.now
+        for gh in self.shards:
+            dt = t - gh.now
+            if dt > 0:
+                gh.clock.advance(dt, activity=activity)
+        return t
+
+    def step(self, fn, *, label: str = "step") -> list:
+        """Run ``fn(chip, gh)`` on every shard between two barriers.
+
+        Models one bulk-synchronous superstep: shards work concurrently,
+        so the step lasts as long as the slowest shard. Returns the
+        per-shard results of ``fn``.
+        """
+        self.barrier(activity=f"{label}:enter")
+        results = [fn(i, gh) for i, gh in enumerate(self.shards)]
+        self.barrier(activity=f"{label}:exit")
+        return results
+
+    # -- fabric exchange phases -------------------------------------------
+
+    def exchange(
+        self,
+        transfers: list[tuple[int, NodeId, NodeId]],
+        *,
+        cls: str = "exchange",
+        label: str = "exchange",
+    ) -> ExchangeOutcome:
+        """One concurrent transfer phase (halo exchange, statevector
+        butterfly): routed with per-link contention, charged to every
+        shard's clock, and tallied on each *sending* chip's counters."""
+        self.barrier(activity=f"{label}:enter")
+        outcome = self.router.exchange_phase(transfers, cls=cls)
+        for nbytes, src, dst in transfers:
+            if nbytes <= 0 or src == dst:
+                continue
+            self.shards[src.chip].counters.bump(
+                fabric_bytes=nbytes,
+                fabric_hop_bytes=nbytes * self.router.route(src, dst).n_hops,
+                fabric_transfers=1,
+            )
+        if outcome.seconds:
+            for gh in self.shards:
+                gh.clock.advance(outcome.seconds, activity=label)
+        return outcome
+
+    # -- reporting --------------------------------------------------------
+
+    def aggregate_counters(self) -> CounterSet:
+        """Node-level counter totals summed across shards."""
+        total = CounterSet()
+        for gh in self.shards:
+            total.add(**gh.counters.total.as_dict())
+        return total
+
+    def link_traffic(self) -> list[dict]:
+        """Per-link traffic rows for the whole run so far."""
+        return self.router.link_traffic_table()
+
+    def conserved(self) -> bool:
+        """Do all fabric links satisfy per-class byte conservation?"""
+        return all(link.stats.conserved() for link in self.topology.links)
+
+    def __repr__(self) -> str:
+        return f"<ShardedSystem {self.n_superchips} superchip(s) @ {self.now:.6f}s>"

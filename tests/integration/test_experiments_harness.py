@@ -24,7 +24,8 @@ class TestRegistry:
         assert paper_artifacts <= ids
         ablations = {i for i in ids if i.startswith("abl_")}
         assert len(ablations) >= 5
-        assert ids == paper_artifacts | ablations
+        beyond_paper = {"topo_scaling"}
+        assert ids == paper_artifacts | ablations | beyond_paper
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError, match="unknown experiment"):

@@ -1,0 +1,126 @@
+"""Unit tests for lockstep sharded execution and cross-chip memory paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import ArrayAccess
+from repro.sim.config import Location, MemKind, NodeId, SystemConfig
+from repro.topology import ShardedSystem
+
+
+@pytest.fixture
+def cfg():
+    return SystemConfig.scaled(1 / 1024, page_size=65536)
+
+
+@pytest.fixture
+def duo(cfg):
+    return ShardedSystem(cfg, n_superchips=2)
+
+
+def spilled_array(duo, cfg, extra_pages=64):
+    """A system allocation on shard 0 bigger than its local DDR, first
+    touched by the CPU so the overflow spills to chip 1's DDR."""
+    gh = duo[0]
+    nbytes = gh.mem.physical.cpu.free + extra_pages * cfg.system_page_size
+    arr = gh.malloc(np.int8, (nbytes,))
+    gh.cpu_phase("touch", [ArrayAccess.write_(arr)])
+    return arr
+
+
+class TestLockstep:
+    def test_shards_are_independent_systems(self, duo):
+        assert duo.n_superchips == 2
+        assert duo[0].gpu.chip == 0 and duo[1].gpu.chip == 1
+        assert duo[0].mem is not duo[1].mem
+        assert duo[0].config is not duo[1].config
+
+    def test_barrier_aligns_clocks_to_the_slowest(self, duo):
+        duo[0].clock.advance(1e-3, activity="work")
+        t = duo.barrier()
+        assert t == pytest.approx(1e-3)
+        assert duo[0].now == duo[1].now == pytest.approx(duo.now)
+
+    def test_step_runs_on_every_shard_between_barriers(self, duo):
+        def work(chip, gh):
+            gh.clock.advance(1e-4 * (chip + 1), activity="work")
+            return chip
+
+        assert duo.step(work) == [0, 1]
+        # The step lasts as long as the slowest shard.
+        assert duo[0].now == duo[1].now == pytest.approx(duo.now)
+
+    def test_exchange_advances_all_clocks_and_counts_senders(self, duo):
+        hbm0, hbm1 = NodeId(0, MemKind.HBM), NodeId(1, MemKind.HBM)
+        before = duo.now
+        out = duo.exchange([(1 << 20, hbm0, hbm1), (1 << 20, hbm1, hbm0)])
+        assert out.seconds > 0
+        assert duo[0].now == duo[1].now == pytest.approx(before + out.seconds)
+        assert duo[0].counters.total.fabric_bytes == 1 << 20
+        assert duo[1].counters.total.fabric_bytes == 1 << 20
+        assert duo.aggregate_counters().fabric_transfers == 2
+        assert duo.conserved()
+
+    def test_empty_exchange_is_free(self, duo):
+        before = duo.now
+        out = duo.exchange([])
+        assert out.seconds == 0.0 and out.n_transfers == 0
+        assert duo.now == before
+
+
+class TestPeerSpill:
+    def test_first_touch_spills_overflow_to_peer_ddr(self, duo, cfg):
+        peer_free = duo[1].mem.physical.cpu.free
+        arr = spilled_array(duo, cfg, extra_pages=64)
+        alloc = arr.alloc
+        n_remote = alloc.pages_at(Location.REMOTE)
+        assert n_remote == 64
+        assert alloc.remote_pages_by_node == {NodeId(1, MemKind.DDR): 64}
+        # The spilled pages are physically reserved on chip 1's pool.
+        spilled = 64 * cfg.system_page_size
+        assert duo[1].mem.physical.cpu.free == peer_free - spilled
+        assert duo[0].counters.total.pages_spilled_remote == 64
+
+    def test_gpu_access_to_spilled_pages_rides_the_fabric(self, duo, cfg):
+        arr = spilled_array(duo, cfg)
+        rec = duo[0].launch_kernel("read", [ArrayAccess.read(arr)])
+        assert rec.result.remote_bytes > 0
+        # GPU 0 pulling from chip 1's DDR routes over c2c+nvlink.
+        traffic = {row["kind"]: row for row in duo.link_traffic()}
+        assert traffic["nvlink"]["by_class"].get("remote", 0) > 0
+        assert duo[0].counters.total.fabric_bytes > 0
+        assert duo.conserved()
+
+    def test_free_releases_the_peer_reservation(self, duo, cfg):
+        peer_free = duo[1].mem.physical.cpu.free
+        arr = spilled_array(duo, cfg)
+        assert duo[1].mem.physical.cpu.free < peer_free
+        duo[0].free(arr)
+        assert duo[1].mem.physical.cpu.free == peer_free
+        assert arr.alloc.remote_pages_by_node == {}
+
+
+class TestRemoteMigration:
+    def test_hot_spilled_pages_migrate_home_over_the_fabric(self, duo, cfg):
+        # Pin down all of chip 0's DDR so the test array spills entirely:
+        # the migrator's per-epoch budget then goes to REMOTE pages alone.
+        gh = duo[0]
+        filler = gh.malloc(np.int8, (gh.mem.physical.cpu.free,))
+        gh.cpu_phase("fill", [ArrayAccess.write_(filler)])
+        arr = gh.malloc(np.int8, (64 * cfg.system_page_size,))
+        gh.cpu_phase("touch", [ArrayAccess.write_(arr)])
+        assert arr.alloc.pages_at(Location.REMOTE) == 64
+
+        peer_free = duo[1].mem.physical.cpu.free
+        duo[0].set_migration_threshold(1)
+        for _ in range(40):
+            duo[0].launch_kernel("hammer", [ArrayAccess.read(arr)])
+        counters = duo[0].counters.total
+        assert counters.pages_migrated_h2d > 0
+        assert arr.alloc.pages_at(Location.REMOTE) < 64
+        # Migrated pages released their peer-DDR reservation and now
+        # occupy local HBM; the move was charged to the fabric.
+        assert duo[1].mem.physical.cpu.free > peer_free
+        traffic = {row["kind"]: row for row in duo.link_traffic()}
+        assert traffic["nvlink"]["by_class"].get("migration", 0) > 0
+        assert duo.conserved()
