@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""What-if serving demo: coalescing, backpressure, timeouts, metrics.
+
+Stands up an in-process :class:`repro.serve.SimulationService` (three
+workers, a six-seat queue) and throws 21 submissions at it the way a
+busy deployment would:
+
+* three slow "blocker" jobs that occupy every worker,
+* one injected hung job with a 1 s timeout and one retry — it times
+  out, retries, fails, and never stalls the jobs queued behind it,
+* eight distinct quick what-ifs — more than the queue can seat, so the
+  overflow is rejected with a machine-readable reason,
+* eight duplicates of a blocker, which coalesce onto its execution,
+* one resubmission of a finished job, served from the result cache.
+
+Every claim is asserted against the final metrics snapshot, so this
+doubles as the CI smoke test for the serving subsystem.
+
+Run:  python examples/serve_whatif.py
+"""
+
+import asyncio
+import json
+import tempfile
+
+from repro.bench.runner import ResultCache
+from repro.serve import AdmissionError, JobFailed, ServiceConfig, SimulationService
+
+WORKERS = 3
+CAPACITY = 6
+
+
+async def main() -> None:
+    cache = ResultCache(tempfile.mkdtemp(prefix="repro-serve-demo-"))
+    config = ServiceConfig(
+        workers=WORKERS,
+        capacity=CAPACITY,
+        cache=cache,
+        metrics_interval=0.0,
+    )
+    submitted = rejected = 0
+
+    async with SimulationService(config) as service:
+        # -- occupy every worker with slow (1.5 s) blockers ------------
+        # distinct _serve_hang_s values keep the blockers from
+        # coalescing with each other (the hook is stripped in-worker but
+        # is part of the fingerprint)
+        blocker_kwargs = [{"scale": 1.0, "_serve_hang_s": 1.5 + i / 100}
+                          for i in range(WORKERS)]
+        blockers = [service.submit("table1", kw) for kw in blocker_kwargs]
+        submitted += WORKERS
+        await asyncio.sleep(0.3)  # let them dequeue onto the workers
+
+        # -- a hung job: 1 s timeout, one retry, never finishes --------
+        hung = service.submit(
+            "table2", {"_serve_hang_s": 60}, timeout=1.0, retries=1
+        )
+        submitted += 1
+
+        # -- flood: 8 distinct quick what-ifs against 5 free seats -----
+        distinct = []
+        for i in range(8):
+            submitted += 1
+            try:
+                distinct.append(
+                    service.submit("table1", {"scale": 0.1 + i / 100})
+                )
+            except AdmissionError as exc:
+                rejected += 1
+                print(f"rejected what-if #{i}: {exc.reason} ({exc.detail})")
+
+        # -- 8 duplicates of a blocker: coalesce, don't execute --------
+        dupes = [service.submit("table1", blocker_kwargs[0]) for _ in range(8)]
+        submitted += 8
+        assert all(h.coalesced for h in dupes), "duplicates must coalesce"
+
+        # -- everything accepted completes; the hung job fails ---------
+        for handle in [*blockers, *distinct, *dupes]:
+            assert (await handle.result(30)).rows
+        try:
+            await hung.result(30)
+            raise AssertionError("hung job should have failed")
+        except JobFailed as exc:
+            print(f"hung job escalated as designed: {exc.reason}")
+
+        # -- a finished what-if resubmits as a cache hit ---------------
+        resubmit = service.submit("table1", {"scale": 0.1})
+        submitted += 1
+        assert resubmit.cached, "completed job should be served from cache"
+        assert (await resubmit.result(1)).rows
+
+        snapshot = service.metrics_snapshot()
+
+    # ------------------------------------------------------------------
+    # The snapshot must be consistent with what we just did.
+    # ------------------------------------------------------------------
+    jobs = snapshot["jobs"]
+    assert submitted >= 20, submitted
+    assert jobs["submitted"] == submitted
+    assert jobs["coalesced"] == 8
+    assert jobs["rejected"] == {"queue full": rejected} and rejected > 0
+    assert jobs["timeouts"] == 2 and jobs["retries"] == 1
+    assert jobs["failed"] == 1
+    assert jobs["completed"] == WORKERS + len(distinct)
+    # every submission is accounted for exactly once
+    assert jobs["submitted"] == (
+        jobs["accepted"] + jobs["rejected_total"] + jobs["coalesced"]
+        + snapshot["cache"]["hits"]
+    )
+    assert snapshot["cache"]["hits"] == 1
+    assert snapshot["workers"]["restarts"] >= 2  # one per timed-out attempt
+    assert snapshot["latency_s"]["total"]["count"] == (
+        jobs["completed"] + jobs["failed"]
+    )
+    assert snapshot["queue"]["depth"] == 0 and snapshot["in_flight"] == 0
+
+    print()
+    print("final metrics snapshot:")
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    print()
+    print(
+        f"serve_whatif ok: {submitted} submissions -> "
+        f"{jobs['completed']} completed, {jobs['coalesced']} coalesced, "
+        f"{jobs['rejected_total']} rejected, {jobs['failed']} failed "
+        f"(after {jobs['retries']} retry), cache hits "
+        f"{snapshot['cache']['hits']}"
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

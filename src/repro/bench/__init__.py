@@ -9,6 +9,8 @@ from .export import load_json, write_csv, write_json
 from .plots import render_plot
 from .report import render_markdown, render_table
 from .runner import (
+    ExperimentFailure,
+    ExperimentInterrupted,
     ResultCache,
     run_experiment_cached,
     run_experiments_parallel,
@@ -20,6 +22,8 @@ __all__ = [
     "run_experiment_cached",
     "run_experiments_parallel",
     "ResultCache",
+    "ExperimentFailure",
+    "ExperimentInterrupted",
     "experiment_ids",
     "ExperimentResult",
     "make_config",

@@ -1,4 +1,4 @@
-"""Enable ``python -m repro.bench [run] ...``."""
+"""Enable ``python -m repro.bench [run|serve|submit|cache] ...``."""
 
 import sys
 

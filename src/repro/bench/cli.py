@@ -25,13 +25,27 @@ def main(argv: list[str] | None = None) -> int:
         from .runner import main_run
 
         return main_run(argv[1:])
+    if argv and argv[0] == "cache":
+        from .runner import main_cache
+
+        return main_cache(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..serve.service import main_serve
+
+        return main_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        from ..serve.client import main_submit
+
+        return main_submit(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures on the "
         "simulated Grace Hopper testbed.",
-        epilog="See 'repro-bench run --help' for the parallel + cached "
-        "driver (worker pool, on-disk result cache).",
+        epilog="Subcommands: 'repro-bench run' (parallel + cached driver), "
+        "'repro-bench serve' / 'submit' (concurrent what-if service and "
+        "its client), 'repro-bench cache' (result-cache stats and "
+        "invalidation); see each one's --help.",
     )
     parser.add_argument(
         "experiments",

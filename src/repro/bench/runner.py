@@ -38,6 +38,36 @@ from .harness import ExperimentResult
 #: serialisation layout or the key derivation.
 CACHE_SCHEMA = 1
 
+#: Sidecar file (not a cache entry) accumulating hit/miss totals across
+#: processes, surfaced by ``repro-bench cache stats``.
+STATS_FILE = "_stats.json"
+
+
+class ExperimentInterrupted(RuntimeError):
+    """The run was interrupted (Ctrl-C / SIGTERM); ``completed`` holds
+    every result finished before the interrupt."""
+
+    def __init__(self, completed: dict[str, ExperimentResult]):
+        super().__init__(
+            f"interrupted after {len(completed)} completed experiment(s)"
+        )
+        self.completed = completed
+
+
+class ExperimentFailure(RuntimeError):
+    """One or more experiments timed out / crashed past their retry
+    budget; the rest of the run is preserved in ``completed``."""
+
+    def __init__(
+        self,
+        failures: dict[str, str],
+        completed: dict[str, ExperimentResult],
+    ):
+        detail = "; ".join(f"{e}: {r}" for e, r in failures.items())
+        super().__init__(f"{len(failures)} experiment(s) failed — {detail}")
+        self.failures = failures
+        self.completed = completed
+
 
 def _default_cache_root() -> Path:
     env = os.environ.get("REPRO_BENCH_CACHE_DIR")
@@ -147,9 +177,68 @@ class ResultCache:
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob(pattern):
+                if path.name.startswith(("_", ".")):
+                    continue  # sidecars (stats file) are not entries
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed
+
+    def _entry_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.glob("*.json")
+            if not p.name.startswith(("_", "."))
+        )
+
+    def stats(self) -> dict:
+        """Entry count/bytes (per experiment), plus this process's
+        hit/miss counters and the persisted lifetime totals."""
+        by_exp: dict[str, int] = {}
+        total_bytes = 0
+        entries = self._entry_paths()
+        for path in entries:
+            exp = path.name.rsplit("-", 1)[0]
+            by_exp[exp] = by_exp.get(exp, 0) + 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        lifetime = {"hits": 0, "misses": 0}
+        try:
+            lifetime.update(json.loads((self.root / STATS_FILE).read_text()))
+        except (OSError, ValueError):
+            pass
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "by_experiment": dict(sorted(by_exp.items())),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+            "lifetime_hits": lifetime["hits"] + self.hits,
+            "lifetime_misses": lifetime["misses"] + self.misses,
+        }
+
+    def save_session_stats(self) -> None:
+        """Fold this process's hit/miss counters into the on-disk
+        lifetime totals (and zero them, so saving twice is safe)."""
+        if not (self.hits or self.misses):
+            return
+        path = self.root / STATS_FILE
+        totals = {"hits": 0, "misses": 0}
+        try:
+            totals.update(json.loads(path.read_text()))
+        except (OSError, ValueError):
+            pass
+        totals["hits"] += self.hits
+        totals["misses"] += self.misses
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(totals))
+        tmp.replace(path)
+        self.hits = 0
+        self.misses = 0
 
     def __repr__(self) -> str:
         return (
@@ -183,6 +272,58 @@ def _pool_run(exp_id: str, kwargs: dict) -> dict:
     return _serialize(run_experiment(exp_id, **kwargs))
 
 
+def _run_supervised(
+    pending: list[str],
+    kwargs_for,
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    cache: ResultCache | None,
+    results: dict[str, ExperimentResult],
+) -> None:
+    """Timeout/retry path: drive the :mod:`repro.serve` supervised
+    worker pool from a thread pool, so a hung or crashed experiment is
+    killed and retried instead of stalling the whole run."""
+    from concurrent.futures import ThreadPoolExecutor, as_completed
+
+    from ..serve.workers import JobFailed, SupervisedWorkerPool
+
+    n_workers = min(jobs, len(pending)) or 1
+    pool = SupervisedWorkerPool(n_workers)
+    failures: dict[str, str] = {}
+    try:
+        with ThreadPoolExecutor(max_workers=n_workers) as threads:
+            futures = {
+                threads.submit(
+                    pool.run_with_retry,
+                    exp_id,
+                    kwargs_for(exp_id),
+                    timeout=timeout,
+                    retries=retries,
+                ): exp_id
+                for exp_id in pending
+            }
+            try:
+                for fut in as_completed(futures):
+                    exp_id = futures[fut]
+                    try:
+                        results[exp_id] = _deserialize(fut.result())
+                    except JobFailed as exc:
+                        failures[exp_id] = exc.reason
+                        continue
+                    if cache is not None:
+                        cache.put(results[exp_id], **kwargs_for(exp_id))
+            except KeyboardInterrupt:
+                pool.shutdown_now()  # unblocks the worker threads
+                for fut in futures:
+                    fut.cancel()
+                raise ExperimentInterrupted(dict(results)) from None
+    finally:
+        pool.close()
+    if failures:
+        raise ExperimentFailure(failures, dict(results))
+
+
 def run_experiments_parallel(
     exp_ids: Iterable[str] | None = None,
     *,
@@ -191,6 +332,8 @@ def run_experiments_parallel(
     force: bool = False,
     kwargs: dict | None = None,
     kwargs_per_exp: dict[str, dict] | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Run experiments across a process pool, serving cache hits first.
 
@@ -199,6 +342,14 @@ def run_experiments_parallel(
     ``{exp_id: ExperimentResult}`` in the requested order. ``jobs=1``
     runs inline (no pool), which is also the fallback for a single
     pending experiment.
+
+    ``timeout`` bounds each experiment's wall time and ``retries`` is
+    the per-experiment retry budget for timeouts and worker crashes
+    (the supervised-pool path; a job past its budget raises
+    :class:`ExperimentFailure` carrying everything that did finish).
+    Ctrl-C / SIGTERM raises :class:`ExperimentInterrupted`, likewise
+    carrying the completed prefix, after cancelling pending work and
+    terminating the pool.
     """
     wanted = list(exp_ids) if exp_ids is not None else experiment_ids()
     unknown = [e for e in wanted if e not in experiment_ids()]
@@ -222,13 +373,24 @@ def run_experiments_parallel(
         else:
             pending.append(exp_id)
 
-    if len(pending) <= 1 or jobs <= 1:
-        for exp_id in pending:
-            results[exp_id] = run_experiment(exp_id, **kwargs_for(exp_id))
-            if cache is not None:
-                cache.put(results[exp_id], **kwargs_for(exp_id))
+    if not pending:
+        pass
+    elif timeout is not None or retries > 0:
+        _run_supervised(
+            pending, kwargs_for, jobs, timeout, retries, cache, results
+        )
+    elif len(pending) <= 1 or jobs <= 1:
+        try:
+            for exp_id in pending:
+                results[exp_id] = run_experiment(exp_id, **kwargs_for(exp_id))
+                if cache is not None:
+                    cache.put(results[exp_id], **kwargs_for(exp_id))
+        except KeyboardInterrupt:
+            raise ExperimentInterrupted(dict(results)) from None
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        futures = {}
+        try:
             futures = {
                 pool.submit(_pool_run, exp_id, kwargs_for(exp_id)): exp_id
                 for exp_id in pending
@@ -241,8 +403,35 @@ def run_experiments_parallel(
                     results[exp_id] = _deserialize(fut.result())
                     if cache is not None:
                         cache.put(results[exp_id], **kwargs_for(exp_id))
+            pool.shutdown()
+        except KeyboardInterrupt:
+            for fut in futures:
+                fut.cancel()
+            for proc in (getattr(pool, "_processes", None) or {}).values():
+                proc.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise ExperimentInterrupted(dict(results)) from None
 
-    return {exp_id: results[exp_id] for exp_id in wanted}
+    return {exp_id: results[exp_id] for exp_id in wanted if exp_id in results}
+
+
+def _sigterm_as_interrupt() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path so a ``kill``
+    gets the same cancel-pending/terminate-pool/report-completed
+    treatment as Ctrl-C (main thread only; no-op elsewhere)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except (ValueError, OSError):  # pragma: no cover — exotic platforms
+        pass
 
 
 def main_run(argv: list[str] | None = None) -> int:
@@ -276,6 +465,15 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="problem/machine scale factor (1.0 = the paper's testbed)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-experiment wall-time bound (hung/crashed experiments "
+        "are killed instead of stalling the pool)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry budget per experiment for timeouts/crashes",
     )
     parser.add_argument(
         "--cache-dir", metavar="DIR",
@@ -328,26 +526,46 @@ def main_run(argv: list[str] | None = None) -> int:
         print(f"invalidated {removed} cached result(s) under {cache.root}")
         return 0
 
+    _sigterm_as_interrupt()
     t0 = time.perf_counter()
-    results = run_experiments_parallel(
-        wanted,
-        jobs=args.jobs,
-        cache=cache,
-        force=args.force,
-        kwargs={"scale": args.scale},
-    )
+    exit_code = 0
+    failures: dict[str, str] = {}
+    try:
+        results = run_experiments_parallel(
+            wanted,
+            jobs=args.jobs,
+            cache=cache,
+            force=args.force,
+            kwargs={"scale": args.scale},
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except ExperimentInterrupted as exc:
+        done = ", ".join(exc.completed) or "none"
+        todo = ", ".join(e for e in wanted if e not in exc.completed)
+        print(f"\ninterrupted — completed: {done}; not finished: {todo}")
+        if cache is not None:
+            cache.save_session_stats()
+        return 130
+    except ExperimentFailure as exc:
+        results = exc.completed
+        failures = exc.failures
+        exit_code = 1
     dt = time.perf_counter() - t0
 
     render = render_markdown if args.markdown else render_table
     for result in results.values():
         print(render(result))
         print()
+    for exp_id, reason in failures.items():
+        print(f"FAILED {exp_id}: {reason}")
     if cache is not None:
         print(
             f"[{len(results)} experiment(s) in {dt:.1f}s wall time; "
             f"{cache.hits} from cache, {cache.misses} regenerated "
             f"({cache.root})]"
         )
+        cache.save_session_stats()
     else:
         print(f"[{len(results)} experiment(s) in {dt:.1f}s wall time]")
 
@@ -355,4 +573,60 @@ def main_run(argv: list[str] | None = None) -> int:
         from .export import write_json
 
         print(f"wrote {write_json(list(results.values()), args.json)}")
+    return exit_code
+
+
+def main_cache(argv: list[str] | None = None) -> int:
+    """``repro-bench cache`` entry point: stats + invalidation."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench cache",
+        description="Inspect or invalidate the on-disk experiment result "
+        "cache shared by 'repro-bench run' and 'repro-bench serve'.",
+    )
+    parser.add_argument(
+        "action", nargs="?", default="stats",
+        choices=["stats", "invalidate"],
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help="restrict 'invalidate' to these experiment ids "
+        "(default: drop everything)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache location (default: $REPRO_BENCH_CACHE_DIR or "
+        "~/.cache/repro-bench)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit stats as JSON"
+    )
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+
+    if args.action == "invalidate":
+        if args.experiments:
+            removed = sum(cache.invalidate(e) for e in args.experiments)
+        else:
+            removed = cache.invalidate()
+        print(f"invalidated {removed} cached result(s) under {cache.root}")
+        return 0
+
+    if args.experiments:
+        parser.error("experiment ids only apply to 'invalidate'")
+    stats = cache.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"cache root:  {stats['root']}")
+    print(f"entries:     {stats['entries']} ({stats['bytes']} bytes)")
+    print(
+        f"lifetime:    {stats['lifetime_hits']} hits / "
+        f"{stats['lifetime_misses']} misses"
+    )
+    if stats["by_experiment"]:
+        width = max(len(e) for e in stats["by_experiment"])
+        for exp_id, count in stats["by_experiment"].items():
+            print(f"  {exp_id:<{width}}  {count} entr{'y' if count == 1 else 'ies'}")
     return 0

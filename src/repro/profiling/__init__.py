@@ -1,7 +1,7 @@
 """Profiling tools: memory-utilisation sampler, hardware counters,
 Nsight-style event traces (Section 3.2 of the paper)."""
 
-from .counters import CounterSet, HardwareCounters, KernelTrafficRecord
+from .counters import CounterSet, HardwareCounters, Histogram, KernelTrafficRecord
 from .memprofiler import MemoryProfile, MemoryProfiler, MemorySample
 from .nsight import FaultSummary, NsightTrace
 from .trace import AccessTrace, TraceRecord, TraceRecorder, replay
@@ -9,6 +9,7 @@ from .trace import AccessTrace, TraceRecord, TraceRecorder, replay
 __all__ = [
     "CounterSet",
     "HardwareCounters",
+    "Histogram",
     "KernelTrafficRecord",
     "MemoryProfile",
     "MemoryProfiler",

@@ -10,7 +10,81 @@ cumulative set plus per-kernel deltas captured around each launch.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
+
+
+class Histogram:
+    """Log-bucketed histogram of non-negative samples.
+
+    Buckets grow geometrically (``base`` factor, smallest upper edge
+    ``min_edge``), so a handful of integer counters cover nine orders of
+    magnitude — the same trick Nsight uses for latency distributions.
+    Shared by the profiling layer and the serving metrics
+    (:mod:`repro.serve.metrics`): queue-wait and end-to-end latency both
+    span microseconds to minutes, where fixed-width buckets are useless.
+    """
+
+    def __init__(self, base: float = 2.0, min_edge: float = 1e-4):
+        if base <= 1.0:
+            raise ValueError("base must be > 1")
+        self.base = base
+        self.min_edge = min_edge
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_edge:
+            return 0
+        return max(0, math.ceil(math.log(value / self.min_edge, self.base)))
+
+    def edge(self, index: int) -> float:
+        """Upper edge of bucket ``index`` (samples in it are ``<= edge``)."""
+        return self.min_edge * self.base**index
+
+    def record(self, value: float) -> None:
+        value = max(0.0, float(value))
+        idx = self._index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (upper edge of the bucket the
+        rank falls in — a conservative estimate)."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * min(max(p, 0.0), 100.0) / 100.0))
+        seen = 0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                return min(self.edge(idx), self.max or 0.0)
+        return self.max or 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (count/mean/min/max + key percentiles)."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "min": round(self.min or 0.0, 6),
+            "max": round(self.max or 0.0, 6),
+            "p50": round(self.percentile(50), 6),
+            "p90": round(self.percentile(90), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram n={self.count} mean={self.mean:.4g}>"
 
 
 @dataclass

@@ -1,0 +1,54 @@
+"""Concurrent what-if simulation serving.
+
+The paper's value is *what-if* exploration — sweeping memory modes, page
+sizes, and oversubscription ratios across applications. This package
+turns the one-shot experiment registry into a long-lived service:
+submissions pass admission control into a bounded priority queue,
+identical concurrent requests coalesce onto one execution, completed
+ones are answered from the PR-1 result cache, and a supervised
+worker-process pool runs the rest with per-job timeouts, bounded
+retries, and crash restarts — all observable through a JSON metrics
+snapshot. ``repro-bench serve`` / ``repro-bench submit`` expose it over
+TCP.
+"""
+
+from .client import ServeClient
+from .metrics import ServiceMetrics
+from .queue import (
+    AdmissionError,
+    BoundedPriorityQueue,
+    Job,
+    QueueClosed,
+)
+from .scheduler import Scheduler
+from .service import JobHandle, ServiceConfig, SimulationService, serve_tcp
+from .workers import (
+    DEFAULT_RUNNER,
+    JobError,
+    JobFailed,
+    SupervisedWorkerPool,
+    WorkerCrashed,
+    WorkerProcess,
+    WorkerTimeout,
+)
+
+__all__ = [
+    "AdmissionError",
+    "BoundedPriorityQueue",
+    "DEFAULT_RUNNER",
+    "Job",
+    "JobError",
+    "JobFailed",
+    "JobHandle",
+    "QueueClosed",
+    "Scheduler",
+    "ServeClient",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SimulationService",
+    "SupervisedWorkerPool",
+    "WorkerCrashed",
+    "WorkerProcess",
+    "WorkerTimeout",
+    "serve_tcp",
+]

@@ -1,0 +1,189 @@
+"""Blocking client for the `repro-bench serve` TCP endpoint.
+
+Speaks the newline-delimited-JSON protocol from
+:mod:`repro.serve.service` over a plain socket, so scripts (and the
+``repro-bench submit`` CLI) need no asyncio of their own.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+
+class ServeClient:
+    """One connection to a running simulation service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        *,
+        connect_timeout: float = 5.0,
+    ):
+        self.host = host
+        self.port = port
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=5.0)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)  # server may still be starting
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, payload: dict, timeout: float | None = None) -> dict:
+        """Send one op and block for its reply line."""
+        self._sock.settimeout(timeout)
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"}).get("ok", False)
+
+    def submit(
+        self,
+        exp_id: str,
+        kwargs: dict | None = None,
+        *,
+        job_class: str = "batch",
+        timeout: float | None = None,
+        retries: int | None = None,
+        wait: bool = True,
+        wait_timeout: float | None = None,
+    ) -> dict:
+        """Submit one what-if job; with ``wait`` the reply carries the
+        serialised result rows. Rejections come back as
+        ``{"ok": False, "rejected": True, "reason": ...}``."""
+        payload: dict = {
+            "op": "submit",
+            "exp_id": exp_id,
+            "kwargs": kwargs or {},
+            "job_class": job_class,
+            "wait": wait,
+        }
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if retries is not None:
+            payload["retries"] = retries
+        if wait_timeout is not None:
+            payload["wait_timeout"] = wait_timeout
+        return self.request(payload, timeout=None if wait else 10.0)
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})["metrics"]
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+def main_submit(argv: list[str] | None = None) -> int:
+    """``repro-bench submit`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench submit",
+        description="Submit what-if jobs to a running 'repro-bench serve' "
+        "instance (or fetch its metrics / shut it down).",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", help="experiment ids to submit"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--kwargs", metavar="JSON", default="{}",
+        help='experiment kwargs as JSON, e.g. \'{"scale": 0.05}\'',
+    )
+    parser.add_argument(
+        "--class", dest="job_class", default="batch",
+        choices=["interactive", "batch"],
+    )
+    parser.add_argument("--timeout", type=float, help="per-job timeout (s)")
+    parser.add_argument("--retries", type=int, help="per-job retry budget")
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="enqueue and return immediately (no result rows)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=5.0,
+        help="seconds to keep retrying the initial connection",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the service metrics snapshot (after any submissions)",
+    )
+    parser.add_argument(
+        "--shutdown", action="store_true",
+        help="drain and stop the server (after any submissions)",
+    )
+    args = parser.parse_args(argv)
+    if not (args.experiments or args.metrics or args.shutdown):
+        parser.error("nothing to do: give experiment ids, --metrics, "
+                     "or --shutdown")
+    try:
+        kwargs = json.loads(args.kwargs)
+    except json.JSONDecodeError as exc:
+        parser.error(f"--kwargs is not valid JSON: {exc}")
+
+    from ..bench.report import render_table
+    from ..bench.runner import _deserialize
+
+    failures = 0
+    with ServeClient(
+        args.host, args.port, connect_timeout=args.connect_timeout
+    ) as client:
+        for exp_id in args.experiments:
+            reply = client.submit(
+                exp_id,
+                kwargs,
+                job_class=args.job_class,
+                timeout=args.timeout,
+                retries=args.retries,
+                wait=not args.no_wait,
+            )
+            if reply.get("rejected"):
+                failures += 1
+                print(
+                    f"{exp_id}: REJECTED ({reply['reason']}"
+                    f"{': ' + reply['detail'] if reply.get('detail') else ''})"
+                )
+            elif not reply.get("ok"):
+                failures += 1
+                print(f"{exp_id}: FAILED ({reply.get('error')})")
+            elif "result" in reply:
+                tag = (
+                    "cache" if reply.get("cached")
+                    else "coalesced" if reply.get("coalesced")
+                    else reply.get("job_id", "?")
+                )
+                print(render_table(_deserialize(reply["result"])))
+                print(f"[{exp_id} served ({tag})]\n")
+            else:
+                print(f"{exp_id}: queued as {reply.get('job_id')}")
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        if args.shutdown:
+            client.shutdown()
+            print("server shutting down")
+    return 1 if failures else 0

@@ -1,0 +1,123 @@
+"""Service observability: counters, latency histograms, log lines.
+
+One :class:`ServiceMetrics` instance per service. Counters cover the
+whole request lifecycle (submitted → accepted/rejected/coalesced/cached
+→ executed → completed/failed), latency is tracked as three
+:class:`~repro.profiling.counters.Histogram` distributions (queue wait,
+execution, end-to-end), and gauges (queue depth, in-flight, worker
+restarts) are read through callbacks so a snapshot always reflects live
+state. ``snapshot()`` is the JSON surface the TCP ``metrics`` op and
+``repro-bench submit --metrics`` expose; ``log_line()`` is the periodic
+structured log record.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Callable
+
+from ..profiling.counters import Histogram
+
+logger = logging.getLogger("repro.serve")
+
+
+class ServiceMetrics:
+    """Lifecycle counters + latency histograms + live gauges."""
+
+    def __init__(self):
+        self.started_at = time.monotonic()
+        self.submitted = 0  # every submission attempt
+        self.accepted = 0  # got a queue seat
+        self.rejected: dict[str, int] = {}  # reason -> count
+        self.coalesced = 0  # attached to an identical in-flight job
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.executed = 0  # jobs dispatched to a worker
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.timeouts = 0  # individual attempt timeouts
+        self.retries = 0
+        self.queue_wait = Histogram()
+        self.exec_latency = Histogram()
+        self.total_latency = Histogram()
+        # Gauge callbacks, wired by the service at start.
+        self.queue_depth_fn: Callable[[], int] = lambda: 0
+        self.queue_by_class_fn: Callable[[], dict] = dict
+        self.inflight_fn: Callable[[], int] = lambda: 0
+        self.worker_restarts_fn: Callable[[], int] = lambda: 0
+        self.workers_fn: Callable[[], int] = lambda: 0
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def cache_hit_ratio(self) -> float:
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able point-in-time view of the whole service."""
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "queue": {
+                "depth": self.queue_depth_fn(),
+                "by_class": self.queue_by_class_fn(),
+            },
+            "in_flight": self.inflight_fn(),
+            "workers": {
+                "count": self.workers_fn(),
+                "restarts": self.worker_restarts_fn(),
+            },
+            "jobs": {
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "rejected": dict(self.rejected),
+                "rejected_total": self.rejected_total,
+                "coalesced": self.coalesced,
+                "executed": self.executed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_ratio": round(self.cache_hit_ratio(), 4),
+            },
+            "latency_s": {
+                "queue_wait": self.queue_wait.snapshot(),
+                "execution": self.exec_latency.snapshot(),
+                "total": self.total_latency.snapshot(),
+            },
+        }
+
+    def log_line(self) -> str:
+        """One structured (JSON) log record; also emitted via logging."""
+        snap = self.snapshot()
+        line = json.dumps(
+            {
+                "event": "serve.metrics",
+                "uptime_s": snap["uptime_s"],
+                "queue_depth": snap["queue"]["depth"],
+                "in_flight": snap["in_flight"],
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected_total,
+                "coalesced": self.coalesced,
+                "cache_hit_ratio": snap["cache"]["hit_ratio"],
+                "worker_restarts": snap["workers"]["restarts"],
+                "p50_total_s": snap["latency_s"]["total"]["p50"],
+                "p99_total_s": snap["latency_s"]["total"]["p99"],
+            },
+            sort_keys=True,
+        )
+        logger.info(line)
+        return line

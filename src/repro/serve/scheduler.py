@@ -1,0 +1,146 @@
+"""Scheduler: queue → (coalesce, cache) → supervised workers.
+
+The scheduler's run loop pops jobs off the bounded queue in priority
+order and dispatches each to the worker pool under a slot semaphore, so
+at most ``n_workers`` jobs execute at once and queue depth stays an
+honest backlog measure. Before dispatch it consults the PR-1
+:class:`~repro.bench.runner.ResultCache` (same fingerprint as
+``repro-bench run``), and after success it writes back, so a completed
+what-if never runs twice — coalescing handles the *concurrent*
+duplicates, the cache handles the *sequential* ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..bench.runner import ResultCache, _deserialize
+from .metrics import ServiceMetrics, logger
+from .queue import BoundedPriorityQueue, Job, QueueClosed
+from .workers import JobFailed, SupervisedWorkerPool, WorkerTimeout
+
+
+class Scheduler:
+    """Pulls jobs from the queue and runs them on the worker pool."""
+
+    def __init__(
+        self,
+        queue: BoundedPriorityQueue,
+        pool: SupervisedWorkerPool,
+        metrics: ServiceMetrics,
+        cache: ResultCache | None = None,
+    ):
+        self.queue = queue
+        self.pool = pool
+        self.metrics = metrics
+        self.cache = cache
+        #: coalescing map: fingerprint -> accepted-but-unfinished Job
+        self.inflight: dict[str, Job] = {}
+        self._slots = asyncio.Semaphore(len(pool))
+        self._tasks: set[asyncio.Task] = set()
+        self._loop_task: asyncio.Task | None = None
+
+    def start(self) -> None:
+        self._loop_task = asyncio.create_task(self._run(), name="serve-scheduler")
+
+    async def _run(self) -> None:
+        while True:
+            try:
+                job = await self.queue.get()
+            except QueueClosed:
+                break
+            if job.cancelled:
+                self._finish_cancelled(job)
+                continue
+            await self._slots.acquire()
+            task = asyncio.create_task(
+                self._execute(job), name=f"serve-job-{job.job_id}"
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._on_task_done)
+
+    def _on_task_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self._slots.release()
+        if not task.cancelled() and task.exception() is not None:
+            logger.error("serve-job task died: %r", task.exception())
+
+    def _finish_cancelled(self, job: Job) -> None:
+        self.inflight.pop(job.key, None)
+        self.metrics.cancelled += 1
+        if not job.future.done():
+            job.future.cancel()
+
+    async def _execute(self, job: Job) -> None:
+        job.started_at = time.monotonic()
+        self.metrics.queue_wait.record(job.queue_wait)
+
+        # Sequential dedup: an identical job may have completed (and been
+        # cached) while this one sat in the queue.
+        if self.cache is not None:
+            hit = await asyncio.to_thread(self.cache.get, job.exp_id, **job.kwargs)
+            if hit is not None:
+                self.metrics.cache_hits += 1
+                self._resolve(job, hit)
+                return
+            self.metrics.cache_misses += 1
+
+        self.metrics.executed += 1
+
+        def on_retry(exp_id: str, attempt: int, exc: Exception) -> None:
+            # Runs on the pool thread; int bumps are atomic under the GIL.
+            if isinstance(exc, WorkerTimeout):
+                self.metrics.timeouts += 1
+            self.metrics.retries += 1
+            job.attempts = attempt + 1
+            logger.warning(
+                "retrying %s (%s, attempt %d): %s",
+                job.job_id, exp_id, attempt + 2, exc,
+            )
+
+        try:
+            payload = await asyncio.to_thread(
+                self.pool.run_with_retry,
+                job.exp_id,
+                job.kwargs,
+                timeout=job.timeout,
+                retries=job.retries,
+                on_retry=on_retry,
+            )
+        except JobFailed as exc:
+            if "timed out" in exc.reason:
+                self.metrics.timeouts += 1  # the final, non-retried attempt
+            job.attempts = exc.attempts
+            self._fail(job, exc)
+            return
+        result = _deserialize(payload)
+        if self.cache is not None:
+            await asyncio.to_thread(self.cache.put, result, **job.kwargs)
+        self._resolve(job, result)
+
+    def _resolve(self, job: Job, result) -> None:
+        self.inflight.pop(job.key, None)
+        self.metrics.completed += 1
+        now = time.monotonic()
+        if job.started_at is not None:
+            self.metrics.exec_latency.record(now - job.started_at)
+        self.metrics.total_latency.record(now - job.submitted_at)
+        if not job.future.done():
+            job.future.set_result(result)
+
+    def _fail(self, job: Job, exc: Exception) -> None:
+        self.inflight.pop(job.key, None)
+        self.metrics.failed += 1
+        self.metrics.total_latency.record(time.monotonic() - job.submitted_at)
+        if not job.future.done():
+            job.future.set_exception(exc)
+
+    async def drain(self) -> None:
+        """Close the queue, run every accepted job to completion, and
+        wait for the loop and all dispatch tasks to finish."""
+        self.queue.close()
+        if self._loop_task is not None:
+            await self._loop_task
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)

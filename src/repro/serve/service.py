@@ -1,0 +1,417 @@
+"""`repro.serve` service facade and TCP endpoint.
+
+:class:`SimulationService` is the in-process API: ``submit()`` applies
+admission control and coalescing and returns a :class:`JobHandle` whose
+``result()`` awaits the shared outcome; ``drain()`` stops admitting and
+delivers every accepted job; ``metrics_snapshot()`` is the JSON
+observability surface. ``serve_tcp`` wraps a service in a
+newline-delimited-JSON protocol (ops: ``submit``, ``metrics``, ``ping``,
+``shutdown``) for the ``repro-bench serve`` / ``submit`` CLI pair.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import signal
+from dataclasses import dataclass, field
+
+from ..bench.harness import ExperimentResult
+from ..bench.runner import ResultCache, _serialize, cache_key
+from .metrics import ServiceMetrics, logger
+from .queue import (
+    REASON_UNKNOWN_EXPERIMENT,
+    AdmissionError,
+    BoundedPriorityQueue,
+    Job,
+)
+from .scheduler import Scheduler
+from .workers import DEFAULT_RUNNER, SupervisedWorkerPool
+
+_UNSET = object()
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    workers: int = 2
+    capacity: int = 16
+    class_limits: dict[str, int] | None = None
+    default_timeout: float | None = None
+    default_retries: int = 0
+    runner_spec: str = DEFAULT_RUNNER
+    cache: ResultCache | None = None
+    #: accepted experiment ids (None = accept anything; the CLI passes
+    #: the registry so bogus ids are rejected at admission, not by a
+    #: worker)
+    known_experiments: frozenset[str] | None = None
+    metrics_interval: float = 10.0
+
+
+@dataclass
+class JobHandle:
+    """Client-side view of one submission."""
+
+    job_id: str
+    exp_id: str
+    key: str
+    future: asyncio.Future = field(repr=False)
+    coalesced: bool = False  # shared an identical in-flight job
+    cached: bool = False  # served from the result cache at submit
+
+    async def result(self, timeout: float | None = None) -> ExperimentResult:
+        return await asyncio.wait_for(asyncio.shield(self.future), timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+class SimulationService:
+    """Concurrent what-if simulation service (asyncio).
+
+    Lifecycle: ``await start()`` → ``submit()`` / ``cancel()`` →
+    ``await drain()`` (delivers all accepted work) → ``await stop()``.
+    Also usable as an async context manager.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, **overrides):
+        self.config = config or ServiceConfig(**overrides)
+        self.metrics = ServiceMetrics()
+        self.queue = BoundedPriorityQueue(
+            self.config.capacity, self.config.class_limits
+        )
+        self.pool: SupervisedWorkerPool | None = None
+        self.scheduler: Scheduler | None = None
+        self._jobs: dict[str, Job] = {}  # job_id -> job, for cancel()
+        self._next_id = 0
+        self._metrics_task: asyncio.Task | None = None
+        self._started = False
+
+    async def __aenter__(self) -> "SimulationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        cfg = self.config
+        self.pool = await asyncio.to_thread(
+            SupervisedWorkerPool, cfg.workers, cfg.runner_spec
+        )
+        scheduler = Scheduler(self.queue, self.pool, self.metrics, cfg.cache)
+        self.scheduler = scheduler
+        pool = self.pool  # gauges must survive stop() clearing self.pool
+        m = self.metrics
+        m.queue_depth_fn = self.queue.depth
+        m.queue_by_class_fn = self.queue.depth_by_class
+        m.inflight_fn = lambda: len(scheduler.inflight)
+        m.worker_restarts_fn = lambda: pool.restarts
+        m.workers_fn = lambda: len(pool)
+        self.scheduler.start()
+        if cfg.metrics_interval:
+            self._metrics_task = asyncio.create_task(
+                self._metrics_loop(), name="serve-metrics"
+            )
+        self._started = True
+        logger.info(
+            "serve: started (workers=%d capacity=%d cache=%s)",
+            cfg.workers, cfg.capacity,
+            getattr(cfg.cache, "root", None),
+        )
+
+    async def _metrics_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.metrics_interval)
+            self.metrics.log_line()
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        exp_id: str,
+        kwargs: dict | None = None,
+        *,
+        job_class: str = "batch",
+        timeout: float | None = _UNSET,  # type: ignore[assignment]
+        retries: int = _UNSET,  # type: ignore[assignment]
+    ) -> JobHandle:
+        """Admit one what-if job; raises :class:`AdmissionError` when the
+        service cannot take it (queue full, class limit, draining,
+        unknown experiment/class). Identical in-flight submissions
+        coalesce onto one execution; previously completed ones are
+        answered from the result cache."""
+        assert self._started, "call await service.start() first"
+        cfg = self.config
+        kwargs = dict(kwargs or {})
+        self.metrics.submitted += 1
+        if (
+            cfg.known_experiments is not None
+            and exp_id not in cfg.known_experiments
+        ):
+            self.metrics.reject(REASON_UNKNOWN_EXPERIMENT)
+            raise AdmissionError(REASON_UNKNOWN_EXPERIMENT, exp_id)
+        key = cache_key(exp_id, kwargs)
+
+        inflight = self.scheduler.inflight.get(key)
+        if inflight is not None and not inflight.cancelled:
+            inflight.waiters += 1
+            self.metrics.coalesced += 1
+            return JobHandle(
+                inflight.job_id, exp_id, key, inflight.future, coalesced=True
+            )
+
+        if cfg.cache is not None:
+            hit = cfg.cache.get(exp_id, **kwargs)
+            if hit is not None:
+                self.metrics.cache_hits += 1
+                future = asyncio.get_running_loop().create_future()
+                future.set_result(hit)
+                return JobHandle("cached", exp_id, key, future, cached=True)
+
+        self._next_id += 1
+        job = Job(
+            exp_id=exp_id,
+            kwargs=kwargs,
+            key=key,
+            job_class=job_class,
+            timeout=cfg.default_timeout if timeout is _UNSET else timeout,
+            retries=cfg.default_retries if retries is _UNSET else retries,
+            job_id=f"job-{self._next_id}",
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self.queue.put_nowait(job)
+        except AdmissionError as exc:
+            self.metrics.reject(exc.reason)
+            raise
+        self.metrics.accepted += 1
+        self.scheduler.inflight[key] = job
+        self._jobs[job.job_id] = job
+        return JobHandle(job.job_id, exp_id, key, job.future)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job (in-flight executions are left to
+        finish — their result still feeds the cache and any co-waiters).
+        Returns True if the job was marked cancelled."""
+        job = self._jobs.get(job_id)
+        if job is None or job.started_at is not None or job.future.done():
+            return False
+        job.cancelled = True
+        return True
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Stop admitting (new submissions are rejected with
+        ``service draining``) and run every accepted job to completion."""
+        if self.scheduler is not None:
+            await self.scheduler.drain()
+
+    async def stop(self) -> None:
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._metrics_task
+            self._metrics_task = None
+        if self.pool is not None:
+            await asyncio.to_thread(self.pool.close)
+            self.pool = None
+        self._started = False
+
+    async def shutdown(self) -> None:
+        """Graceful: drain accepted work, stop workers, log final
+        metrics."""
+        await self.drain()
+        await self.stop()
+        logger.info("serve: final %s", self.metrics.log_line())
+
+
+# ----------------------------------------------------------------------
+# TCP endpoint (newline-delimited JSON)
+# ----------------------------------------------------------------------
+
+
+async def _handle_request(service: SimulationService, request: dict) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "metrics":
+        return {"ok": True, "metrics": service.metrics_snapshot()}
+    if op == "submit":
+        try:
+            handle = service.submit(
+                request["exp_id"],
+                request.get("kwargs") or {},
+                job_class=request.get("job_class", "batch"),
+                timeout=request.get("timeout", _UNSET),
+                retries=request.get("retries", _UNSET),
+            )
+        except AdmissionError as exc:
+            return {
+                "ok": False,
+                "rejected": True,
+                "reason": exc.reason,
+                "detail": exc.detail,
+            }
+        except KeyError as exc:
+            return {"ok": False, "error": f"missing field {exc}"}
+        response = {
+            "ok": True,
+            "job_id": handle.job_id,
+            "coalesced": handle.coalesced,
+            "cached": handle.cached,
+        }
+        if request.get("wait", True):
+            try:
+                result = await handle.result(request.get("wait_timeout"))
+            except asyncio.TimeoutError:
+                return {**response, "ok": False, "error": "wait timed out"}
+            except Exception as exc:  # noqa: BLE001 — report job failure
+                return {**response, "ok": False, "error": str(exc)}
+            response["result"] = _serialize(result)
+        return response
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve_tcp(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    on_ready=None,
+) -> None:
+    """Serve until a ``shutdown`` op (or cancellation); drains first.
+    ``on_ready(host, port)`` fires once the socket is bound (pass
+    ``port=0`` to let the OS pick)."""
+    done = asyncio.Event()
+
+    async def on_connection(reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {"ok": False, "error": f"bad json: {exc}"}
+                else:
+                    if request.get("op") == "shutdown":
+                        done.set()
+                        response = {"ok": True, "op": "shutdown"}
+                    else:
+                        response = await _handle_request(service, request)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if done.is_set():
+                    break
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    server = await asyncio.start_server(on_connection, host, port)
+    addr = server.sockets[0].getsockname()
+    logger.info("serve: listening on %s:%s", addr[0], addr[1])
+    print(f"repro-serve listening on {addr[0]}:{addr[1]}", flush=True)
+    if on_ready is not None:
+        on_ready(addr[0], addr[1])
+    try:
+        await done.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.shutdown()
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    """``repro-bench serve`` entry point."""
+    import argparse
+
+    from ..bench.experiments import experiment_ids
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Serve what-if simulation jobs over TCP (JSON lines); "
+        "pair with 'repro-bench submit'.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes (default 2)"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=16,
+        help="queue capacity; submissions beyond it are rejected",
+    )
+    parser.add_argument(
+        "--interactive-limit", type=int, default=None, metavar="N",
+        help="max queued interactive-class jobs",
+    )
+    parser.add_argument(
+        "--batch-limit", type=int, default=None, metavar="N",
+        help="max queued batch-class jobs",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job timeout in seconds",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="default retry budget for timed-out/crashed jobs",
+    )
+    parser.add_argument("--cache-dir", metavar="DIR")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument(
+        "--metrics-interval", type=float, default=10.0,
+        help="seconds between structured metrics log lines (0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    class_limits = {}
+    if args.interactive_limit is not None:
+        class_limits["interactive"] = args.interactive_limit
+    if args.batch_limit is not None:
+        class_limits["batch"] = args.batch_limit
+    config = ServiceConfig(
+        workers=args.workers,
+        capacity=args.capacity,
+        class_limits=class_limits or None,
+        default_timeout=args.timeout,
+        default_retries=args.retries,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        known_experiments=frozenset(experiment_ids()),
+        metrics_interval=args.metrics_interval,
+    )
+
+    async def amain() -> None:
+        service = SimulationService(config)
+        await service.start()
+        loop = asyncio.get_running_loop()
+        server_task = asyncio.ensure_future(
+            serve_tcp(service, args.host, args.port)
+        )
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, server_task.cancel)
+        try:
+            await server_task
+        except asyncio.CancelledError:
+            logger.info("serve: signal received, draining")
+            await service.shutdown()
+
+    asyncio.run(amain())
+    return 0

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.kernels import ArrayAccess
 from repro.core.runtime import GraceHopperSystem
-from repro.profiling.counters import CounterSet, HardwareCounters
+from repro.profiling.counters import CounterSet, HardwareCounters, Histogram
 from repro.profiling.memprofiler import MemoryProfile, MemoryProfiler, MemorySample
 from repro.profiling.nsight import NsightTrace
 from repro.sim.config import MiB, SystemConfig
@@ -131,3 +131,45 @@ class TestNsightTrace:
         timeline = trace.kernel_timeline()
         assert timeline[0]["kernel"] == "a"
         assert timeline[0]["duration"] > 0
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_mean_min_max(self):
+        h = Histogram()
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        assert h.mean == pytest.approx(0.2)
+        assert h.min == pytest.approx(0.1)
+        assert h.max == pytest.approx(0.3)
+
+    def test_percentile_is_conservative_upper_bound(self):
+        h = Histogram()
+        samples = [0.001 * (i + 1) for i in range(100)]
+        for v in samples:
+            h.record(v)
+        # bucket upper edges over-estimate, never under-estimate by more
+        # than one bucket's width (base 2 => within 2x)
+        p50 = h.percentile(50)
+        assert 0.05 <= p50 <= 0.1001
+        assert h.percentile(100) == pytest.approx(h.max)
+
+    def test_nine_orders_of_magnitude(self):
+        h = Histogram()
+        for v in (1e-6, 1e-3, 1.0, 1e3):
+            h.record(v)
+        assert h.count == 4
+        assert h.percentile(1) <= 1e-4  # clamped into the first bucket
+        assert h.percentile(99) == pytest.approx(1e3)
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        h = Histogram()
+        h.record(0.42)
+        assert json.loads(json.dumps(h.snapshot()))["count"] == 1

@@ -1,0 +1,134 @@
+"""Unit tests for the serving queue: admission control and priority."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import (
+    REASON_CLASS_LIMIT,
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+    REASON_UNKNOWN_CLASS,
+    AdmissionError,
+    BoundedPriorityQueue,
+    Job,
+    QueueClosed,
+)
+
+
+def make_job(exp_id="fig3", job_class="batch", **kwargs):
+    return Job(exp_id=exp_id, kwargs=kwargs, key=f"{exp_id}-{kwargs}",
+               job_class=job_class)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_capacity_rejection_carries_reason(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=2)
+            q.put_nowait(make_job("a"))
+            q.put_nowait(make_job("b"))
+            with pytest.raises(AdmissionError) as exc:
+                q.put_nowait(make_job("c"))
+            assert exc.value.reason == REASON_QUEUE_FULL
+            assert "2/2" in exc.value.detail
+
+        run(body())
+
+    def test_class_limit_rejection(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=8, class_limits={"batch": 1})
+            q.put_nowait(make_job("a", "batch"))
+            with pytest.raises(AdmissionError) as exc:
+                q.put_nowait(make_job("b", "batch"))
+            assert exc.value.reason == REASON_CLASS_LIMIT
+            # the other class still has seats
+            q.put_nowait(make_job("c", "interactive"))
+            assert q.depth_by_class() == {"batch": 1, "interactive": 1}
+
+        run(body())
+
+    def test_unknown_class_rejected(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=2)
+            with pytest.raises(AdmissionError) as exc:
+                q.put_nowait(make_job("a", "premium"))
+            assert exc.value.reason == REASON_UNKNOWN_CLASS
+
+        run(body())
+
+    def test_closed_queue_rejects_with_draining(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=2)
+            q.close()
+            with pytest.raises(AdmissionError) as exc:
+                q.put_nowait(make_job("a"))
+            assert exc.value.reason == REASON_DRAINING
+
+        run(body())
+
+    def test_unknown_class_in_limits_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(capacity=2, class_limits={"premium": 1})
+
+
+class TestOrdering:
+    def test_interactive_dequeues_before_batch(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=8)
+            q.put_nowait(make_job("b1", "batch"))
+            q.put_nowait(make_job("b2", "batch"))
+            q.put_nowait(make_job("i1", "interactive"))
+            order = [(await q.get()).exp_id for _ in range(3)]
+            assert order == ["i1", "b1", "b2"]
+
+        run(body())
+
+    def test_fifo_within_class(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=8)
+            for name in ("a", "b", "c"):
+                q.put_nowait(make_job(name))
+            assert [(await q.get()).exp_id for _ in range(3)] == ["a", "b", "c"]
+
+        run(body())
+
+    def test_get_frees_a_class_seat(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=8, class_limits={"batch": 1})
+            q.put_nowait(make_job("a"))
+            await q.get()
+            q.put_nowait(make_job("b"))  # seat freed, no AdmissionError
+
+        run(body())
+
+
+class TestDrainSignalling:
+    def test_get_raises_queue_closed_when_drained_and_empty(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=2)
+            q.put_nowait(make_job("a"))
+            q.close()
+            assert (await q.get()).exp_id == "a"  # backlog still delivered
+            with pytest.raises(QueueClosed):
+                await q.get()
+
+        run(body())
+
+    def test_close_wakes_a_blocked_getter(self):
+        async def body():
+            q = BoundedPriorityQueue(capacity=2)
+
+            async def getter():
+                with pytest.raises(QueueClosed):
+                    await q.get()
+
+            task = asyncio.create_task(getter())
+            await asyncio.sleep(0.05)  # getter is parked on the event
+            q.close()
+            await asyncio.wait_for(task, 2)
+
+        run(body())
