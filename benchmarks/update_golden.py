@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Regenerate the golden result fingerprints under ``tests/golden/``.
+
+Run this after an *intentional* change to the simulation model, review
+the resulting diff (each golden file carries the full canonical result
+payload, so ``git diff tests/golden`` shows exactly which rows moved),
+and commit the updated fingerprints together with the model change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/update_golden.py            # all
+    PYTHONPATH=src python benchmarks/update_golden.py fig3 fig10 # some
+
+Equivalent to ``repro-bench verify --update-golden``; this wrapper only
+exists so the regeneration step is discoverable next to the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.check.golden import main_verify  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main_verify(["--update-golden", *sys.argv[1:]]))

@@ -37,6 +37,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..serve.client import main_submit
 
         return main_submit(argv[1:])
+    if argv and argv[0] == "verify":
+        from ..check.golden import main_verify
+
+        return main_verify(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -45,7 +49,8 @@ def main(argv: list[str] | None = None) -> int:
         epilog="Subcommands: 'repro-bench run' (parallel + cached driver), "
         "'repro-bench serve' / 'submit' (concurrent what-if service and "
         "its client), 'repro-bench cache' (result-cache stats and "
-        "invalidation); see each one's --help.",
+        "invalidation), 'repro-bench verify' (golden-trace regression "
+        "gate); see each one's --help.",
     )
     parser.add_argument(
         "experiments",

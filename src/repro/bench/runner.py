@@ -498,7 +498,17 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", metavar="PATH", help="also write all results to a JSON file"
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the memory-model invariant sanitizer enabled "
+        "(REPRO_SANITIZE=1) in every worker; implies --force so cached "
+        "results don't skip the checks",
+    )
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+        args.force = True
 
     if args.list:
         descriptions = experiment_descriptions()

@@ -1,0 +1,241 @@
+"""Golden-trace regression gate for the experiment registry.
+
+Every registered experiment, run at one fixed small configuration
+(:data:`GOLDEN_SCALE`), produces a canonical **fingerprint**: the full
+result payload (rows, columns, title, notes) with floats canonicalised
+to 12-significant-digit strings, hashed with SHA-256. Fingerprints are
+committed under ``tests/golden/`` and checked by ``repro-bench verify``
+(and CI), so any change to the model's *numbers* — intended or not —
+is visible in review as a golden-file diff rather than sliding through
+silently. Intentional model changes regenerate the files with
+``repro-bench verify --update-golden`` (or ``benchmarks/update_golden.py``).
+
+Float canonicalisation uses ``repr``-stable ``%.12g`` formatting: well
+below double precision noise amplification thresholds for these closed-
+form models (the simulator is deterministic — no RNG, no wall clock),
+yet forgiving of non-semantic float-formatting churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+#: The fixed small configuration every golden fingerprint is computed at.
+#: 1/64 of the paper's testbed keeps full-registry verification fast
+#: while preserving every oversubscription and page-count ratio
+#: (``SystemConfig.scaled`` shrinks workloads and capacities together).
+GOLDEN_SCALE = 1.0 / 64.0
+
+#: Bumped when the fingerprint payload format (not the model) changes.
+GOLDEN_FORMAT = 1
+
+#: Default on-disk location, resolved relative to the repository layout
+#: (``src/repro/check/golden.py`` -> ``tests/golden``).
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def golden_kwargs(exp_id: str) -> dict:
+    """The pinned kwargs an experiment is fingerprinted at."""
+    kwargs: dict = {"scale": GOLDEN_SCALE}
+    if exp_id == "topo_scaling":
+        kwargs["superchips"] = (1, 2, 4)
+    return kwargs
+
+
+def _canonical(value):
+    """JSON-stable canonical form: floats as 12-significant-digit
+    strings (handles inf/nan portably), tuples as lists, dict keys
+    stringified."""
+    if isinstance(value, float):
+        return f"{value:.12g}"
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def result_fingerprint(result) -> dict:
+    """Canonical payload + digest of one :class:`ExperimentResult`."""
+    payload = {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "columns": _canonical(result.column_names()),
+        "rows": _canonical(result.rows),
+        "notes": _canonical(list(result.notes)),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    return {
+        "format": GOLDEN_FORMAT,
+        "digest": digest,
+        "kwargs": _canonical(golden_kwargs(result.exp_id)),
+        **payload,
+    }
+
+
+def compute_fingerprint(exp_id: str) -> dict:
+    """Run ``exp_id`` at the golden configuration and fingerprint it."""
+    from ..bench.experiments import run_experiment
+
+    return result_fingerprint(run_experiment(exp_id, **golden_kwargs(exp_id)))
+
+
+def _golden_path(exp_id: str, golden_dir) -> Path:
+    return Path(golden_dir) / f"{exp_id}.json"
+
+
+def load_golden(exp_id: str, golden_dir=None) -> dict | None:
+    path = _golden_path(exp_id, golden_dir or DEFAULT_GOLDEN_DIR)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_golden(fingerprint: dict, golden_dir=None) -> Path:
+    golden_dir = Path(golden_dir or DEFAULT_GOLDEN_DIR)
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    path = _golden_path(fingerprint["exp_id"], golden_dir)
+    path.write_text(json.dumps(fingerprint, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _first_divergence(expected: dict, actual: dict) -> str:
+    """Human-oriented hint: the first field/row where payloads differ."""
+    for key in ("title", "columns", "notes"):
+        if expected.get(key) != actual.get(key):
+            return f"field {key!r} differs"
+    exp_rows = expected.get("rows", [])
+    act_rows = actual.get("rows", [])
+    if len(exp_rows) != len(act_rows):
+        return f"row count {len(exp_rows)} -> {len(act_rows)}"
+    for i, (e, a) in enumerate(zip(exp_rows, act_rows)):
+        if e != a:
+            cols = sorted(
+                set(e) | set(a),
+                key=lambda c: (e.get(c) == a.get(c), c),
+            )
+            col = cols[0] if cols else "?"
+            return (
+                f"row {i} column {col!r}: "
+                f"{e.get(col)!r} -> {a.get(col)!r}"
+            )
+    return "payloads equal but digests differ (format change?)"
+
+
+def verify_experiments(
+    exp_ids=None, *, golden_dir=None, update: bool = False
+) -> list[dict]:
+    """Check (or regenerate) golden fingerprints for ``exp_ids``.
+
+    Returns one report dict per experiment with ``status`` in
+    ``{"ok", "mismatch", "missing", "updated"}``; ``mismatch`` and
+    ``missing`` entries carry a ``detail`` string.
+    """
+    from ..bench.experiments import experiment_ids
+
+    exp_ids = list(exp_ids) if exp_ids else experiment_ids()
+    golden_dir = Path(golden_dir or DEFAULT_GOLDEN_DIR)
+    reports = []
+    for exp_id in exp_ids:
+        actual = compute_fingerprint(exp_id)
+        expected = load_golden(exp_id, golden_dir)
+        report = {"exp_id": exp_id, "digest": actual["digest"]}
+        if update:
+            path = write_golden(actual, golden_dir)
+            report.update(status="updated", path=str(path))
+        elif expected is None:
+            report.update(
+                status="missing",
+                detail=f"no golden file {_golden_path(exp_id, golden_dir)}; "
+                "run with --update-golden to record one",
+            )
+        elif expected["digest"] == actual["digest"]:
+            report.update(status="ok")
+        else:
+            report.update(
+                status="mismatch",
+                expected=expected["digest"],
+                detail=_first_divergence(expected, actual),
+            )
+        reports.append(report)
+    return reports
+
+
+def main_verify(argv=None) -> int:
+    """``repro-bench verify`` — golden-fingerprint regression gate."""
+    import argparse
+    import os
+
+    from ..bench.experiments import experiment_ids
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench verify",
+        description=(
+            "Re-run registered experiments at the pinned golden "
+            f"configuration (scale={GOLDEN_SCALE:g}) and compare result "
+            "fingerprints against tests/golden/."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help="experiment ids to verify (default: the whole registry)",
+    )
+    parser.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="rewrite golden files from the current model (intentional "
+        "model changes)",
+    )
+    parser.add_argument(
+        "--golden-dir",
+        default=None,
+        help=f"golden-file directory (default: {DEFAULT_GOLDEN_DIR})",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the memory-model invariant sanitizer enabled "
+        "(REPRO_SANITIZE=1)",
+    )
+    args = parser.parse_args(argv)
+
+    known = experiment_ids()
+    for exp_id in args.experiments:
+        if exp_id not in known:
+            parser.error(f"unknown experiment {exp_id!r}; known: {known}")
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+
+    reports = verify_experiments(
+        args.experiments or None,
+        golden_dir=args.golden_dir,
+        update=args.update_golden,
+    )
+    width = max(len(r["exp_id"]) for r in reports)
+    failed = 0
+    for r in reports:
+        line = f"verify {r['exp_id']:<{width}}  {r['status']}"
+        if r["status"] in ("ok", "updated"):
+            line += f"  ({r['digest'][:12]})"
+        else:
+            failed += 1
+            line += f"\n    {r['detail']}"
+            if "expected" in r:
+                line += (
+                    f"\n    expected {r['expected'][:12]} "
+                    f"got {r['digest'][:12]}"
+                )
+        print(line)
+    total = len(reports)
+    if failed:
+        print(f"{failed}/{total} experiment(s) diverged from golden")
+        return 1
+    verb = "updated" if args.update_golden else "verified"
+    print(f"{verb} {total}/{total} experiment fingerprints")
+    return 0

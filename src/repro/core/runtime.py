@@ -41,6 +41,9 @@ class GraceHopperSystem:
         self.clock = SimClock()
         self.counters = HardwareCounters()
         self.mem = MemorySubsystem(self.config, self.counters)
+        if self.mem.sanitizer is not None:
+            # InvariantViolations report this system's simulated time.
+            self.mem.sanitizer.clock = self.clock
         self.gpu = GpuDevice(self.config, chip)
         self.cpu = CpuDevice(self.config, chip)
         self.executor = KernelExecutor(

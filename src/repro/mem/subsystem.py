@@ -96,6 +96,13 @@ class MemorySubsystem:
         )
         #: Set by :meth:`attach_fabric` on multi-superchip nodes.
         self.fabric_port = None
+        #: Opt-in invariant checker (``SystemConfig.sanitize=True`` or
+        #: ``REPRO_SANITIZE=1``); ``None`` means zero overhead.
+        self.sanitizer = None
+        from ..check.sanitizer import MemSanitizer, sanitize_requested
+
+        if sanitize_requested(config):
+            self.sanitizer = MemSanitizer(self)
 
     # -- multi-superchip fabric -----------------------------------------------
 
@@ -136,6 +143,8 @@ class MemorySubsystem:
         else:  # pinned / numa
             self.system_table.register(alloc)
             self.physical.cpu.reserve(alloc.bytes_at(Location.CPU), f"pin:{alloc.aid}")
+        if self.sanitizer is not None:
+            self.sanitizer.after_alloc(alloc)
         return alloc
 
     def free(self, alloc: Allocation) -> float:
@@ -177,13 +186,18 @@ class MemorySubsystem:
             self.system_table.unregister(alloc)
         alloc.freed = True
         self.counters.bump(tlb_shootdowns=1)
+        if self.sanitizer is not None:
+            self.sanitizer.after_free(alloc)
         return seconds
 
     # -- epoch servicing -------------------------------------------------------
 
     def begin_epoch(self) -> MigrationReport:
         """Service pending access-counter notifications (Section 2.2.1)."""
-        return self.migrator.service(self.system_table.live_allocations())
+        report = self.migrator.service(self.system_table.live_allocations())
+        if self.sanitizer is not None:
+            self.sanitizer.begin_epoch()
+        return report
 
     # -- the access path ----------------------------------------------------------
 
@@ -203,18 +217,22 @@ class MemorySubsystem:
         if not pages:
             return AccessResult()
         if alloc.kind is AllocKind.MANAGED:
-            return self._from_managed(
+            res = self._from_managed(
                 self.managed.gpu_access(alloc, pages, shape, write=write, now=now)
                 if processor is Processor.GPU
                 else self.managed.cpu_access(alloc, pages, shape, write=write, now=now),
                 pages,
                 shape,
             )
-        if alloc.kind is AllocKind.DEVICE:
-            return self._device_access(processor, alloc, pages, shape, write)
-        if alloc.kind in (AllocKind.HOST_PINNED, AllocKind.NUMA_CPU):
-            return self._pinned_access(processor, alloc, pages, shape, write)
-        return self._system_access(processor, alloc, pages, shape, write)
+        elif alloc.kind is AllocKind.DEVICE:
+            res = self._device_access(processor, alloc, pages, shape, write)
+        elif alloc.kind in (AllocKind.HOST_PINNED, AllocKind.NUMA_CPU):
+            res = self._pinned_access(processor, alloc, pages, shape, write)
+        else:
+            res = self._system_access(processor, alloc, pages, shape, write)
+        if self.sanitizer is not None:
+            self.sanitizer.after_access(alloc, now)
+        return res
 
     # -- per-kind paths --------------------------------------------------------------
 

@@ -83,8 +83,13 @@ def default_job_runner(exp_id: str, kwargs: dict) -> dict:
     return _serialize(run_experiment(exp_id, **kwargs))
 
 
-def _worker_main(conn, runner_spec: str) -> None:
+def _worker_main(conn, runner_spec: str, sanitize: bool = False) -> None:
     """Child-side loop: recv ``(exp_id, kwargs)``, send a reply dict."""
+    if sanitize:
+        # Pin the parent's sanitize decision in the child explicitly, so
+        # a pool created under REPRO_SANITIZE=1 keeps checking even if
+        # the environment changes later (and regardless of start method).
+        os.environ["REPRO_SANITIZE"] = "1"
     runner = _resolve_runner(runner_spec)
     while True:
         try:
@@ -116,10 +121,20 @@ def _mp_context():
 class WorkerProcess:
     """One supervised child process with a request/reply pipe."""
 
-    def __init__(self, runner_spec: str = DEFAULT_RUNNER, name: str = "worker"):
+    def __init__(
+        self,
+        runner_spec: str = DEFAULT_RUNNER,
+        name: str = "worker",
+        *,
+        sanitize: bool | None = None,
+    ):
+        from ..check.sanitizer import sanitize_requested
+
         self.runner_spec = runner_spec
         self.name = name
         self.restarts = 0
+        #: Decided once at pool/worker creation; survives restarts.
+        self.sanitize = sanitize_requested() if sanitize is None else sanitize
         self._ctx = _mp_context()
         self._spawn()
 
@@ -131,7 +146,7 @@ class WorkerProcess:
             warnings.simplefilter("ignore", DeprecationWarning)
             self._proc = self._ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self.runner_spec),
+                args=(child_conn, self.runner_spec, self.sanitize),
                 name=self.name,
                 daemon=True,
             )
@@ -208,11 +223,17 @@ class SupervisedWorkerPool:
     thread pool) can both drive :meth:`run_with_retry` concurrently.
     """
 
-    def __init__(self, n_workers: int, runner_spec: str = DEFAULT_RUNNER):
+    def __init__(
+        self,
+        n_workers: int,
+        runner_spec: str = DEFAULT_RUNNER,
+        *,
+        sanitize: bool | None = None,
+    ):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.workers = [
-            WorkerProcess(runner_spec, name=f"repro-serve-{i}")
+            WorkerProcess(runner_spec, name=f"repro-serve-{i}", sanitize=sanitize)
             for i in range(n_workers)
         ]
         self._free: stdlib_queue.Queue[WorkerProcess] = stdlib_queue.Queue()

@@ -332,6 +332,17 @@ class SystemConfig:
     zeroing_bandwidth: float = 40 * GB
 
     # ------------------------------------------------------------------
+    # Verification (repro.check)
+    # ------------------------------------------------------------------
+    #: Enable the memory-model invariant sanitizer
+    #: (:class:`repro.check.MemSanitizer`): every allocate/free/epoch runs
+    #: a full conservation sweep and every access batch a targeted one,
+    #: raising :class:`repro.check.InvariantViolation` on the first break.
+    #: The ``REPRO_SANITIZE=1`` environment variable enables it globally
+    #: without touching configs. Costly; off by default.
+    sanitize: bool = False
+
+    # ------------------------------------------------------------------
     # Profiling
     # ------------------------------------------------------------------
     profiler_sample_period: float = 0.100

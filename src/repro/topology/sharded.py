@@ -201,6 +201,7 @@ class ShardedSystem:
         self.barrier(activity=f"{label}:enter")
         results = [fn(i, gh) for i, gh in enumerate(self.shards)]
         self.barrier(activity=f"{label}:exit")
+        self._sanitize(label)
         return results
 
     # -- fabric exchange phases -------------------------------------------
@@ -228,6 +229,7 @@ class ShardedSystem:
         if outcome.seconds:
             for gh in self.shards:
                 gh.clock.advance(outcome.seconds, activity=label)
+        self._sanitize(label)
         return outcome
 
     # -- reporting --------------------------------------------------------
@@ -246,6 +248,34 @@ class ShardedSystem:
     def conserved(self) -> bool:
         """Do all fabric links satisfy per-class byte conservation?"""
         return all(link.stats.conserved() for link in self.topology.links)
+
+    def _sanitize(self, label: str) -> None:
+        """Node-level sanitizer hook: after every superstep / exchange,
+        sweep each sanitizing shard and check fabric-link conservation.
+        No-op unless a shard has its sanitizer enabled."""
+        active = [gh for gh in self.shards if gh.mem.sanitizer is not None]
+        if not active:
+            return
+        for gh in active:
+            gh.mem.sanitizer.check_all()
+        if not self.conserved():
+            from ..check.sanitizer import InvariantViolation
+
+            raise InvariantViolation(
+                "fabric-conservation",
+                f"per-class fabric-link byte tallies diverged after "
+                f"{label!r}",
+                sim_time=self.now,
+                epoch=active[0].mem.sanitizer.epoch,
+                details={
+                    str(link): {
+                        "fwd": link.stats.fwd_bytes,
+                        "rev": link.stats.rev_bytes,
+                    }
+                    for link in self.topology.links
+                    if not link.stats.conserved()
+                },
+            )
 
     def __repr__(self) -> str:
         return f"<ShardedSystem {self.n_superchips} superchip(s) @ {self.now:.6f}s>"

@@ -1,0 +1,39 @@
+"""Every registered experiment runs violation-free under the sanitizer.
+
+The full registry at the golden scale is CI-speed territory; the tier-1
+suite spot-checks a representative slice covering each allocator class,
+oversubscription, topology sharding, and the ablations, at a smaller
+scale. ``repro-bench verify --sanitize`` (run in CI) covers the rest.
+"""
+
+import pytest
+
+from repro.bench.experiments import experiment_ids, run_experiment
+
+# One experiment per model regime: system/managed/explicit comparisons
+# (table1), bandwidth probes (sec21), migration tuning (abl_threshold),
+# oversubscribed managed memory (fig11 exercises eviction + thrash), and
+# the multi-superchip fabric (topo_scaling).
+REPRESENTATIVE = ["table1", "sec21", "abl_first_touch", "topo_scaling"]
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+
+@pytest.mark.parametrize("exp_id", REPRESENTATIVE)
+def test_experiment_is_violation_free(exp_id):
+    assert exp_id in experiment_ids()
+    kwargs = {"scale": 1 / 64}
+    if exp_id == "topo_scaling":
+        kwargs["superchips"] = (1, 2)
+    result = run_experiment(exp_id, **kwargs)
+    assert result.rows  # ran to completion with every invariant holding
+
+
+def test_oversubscription_is_violation_free():
+    # fig11 drives managed memory past HBM capacity: the eviction,
+    # thrash-amplification and spill paths all run under the sanitizer.
+    result = run_experiment("fig11", scale=1 / 256)
+    assert result.rows

@@ -1,0 +1,150 @@
+"""Differential property suite: PageSet algebra vs a frozenset oracle.
+
+Random *chains* of symbolic operations are applied to a PageSet and to a
+plain ``frozenset[int]`` oracle in lockstep; after every step the two
+must agree exactly. Unlike the single-op tests in
+``test_pageset_properties.py`` this exercises operator *composition* —
+representation transitions (range -> runs -> strided -> indices), the
+interval-list overflow past :data:`MAX_SYMBOLIC_RUNS`, and the block
+algebra (``align_down`` / ``blocks``) the managed-memory model relies
+on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.pageset import MAX_SYMBOLIC_RUNS, PageSet
+
+MAX_PAGE = 1 << 12
+
+
+# -- oracle ----------------------------------------------------------------
+
+
+def oracle(ps: PageSet) -> frozenset:
+    return frozenset(int(i) for i in ps.indices())
+
+
+def oracle_align_down(s: frozenset, g: int) -> frozenset:
+    return frozenset(
+        p for page in s for p in range((page // g) * g, (page // g) * g + g)
+    )
+
+
+def oracle_take_first(s: frozenset, k: int) -> frozenset:
+    return frozenset(sorted(s)[:k])
+
+
+def oracle_blocks(s: frozenset, g: int) -> list:
+    return sorted({page // g for page in s})
+
+
+# -- generators ------------------------------------------------------------
+
+
+def _runs(bounds):
+    bounds = sorted(set(bounds))
+    return PageSet.from_runs(list(zip(bounds[::2], bounds[1::2])))
+
+
+leaf_sets = st.one_of(
+    st.just(PageSet.empty()),
+    st.tuples(st.integers(0, MAX_PAGE), st.integers(0, MAX_PAGE)).map(
+        lambda t: PageSet.range(min(t), max(t))
+    ),
+    st.lists(st.integers(0, MAX_PAGE - 1), max_size=48).map(PageSet.of),
+    st.lists(
+        st.integers(0, MAX_PAGE), min_size=2, max_size=24, unique=True
+    ).map(_runs),
+    st.tuples(
+        st.integers(0, MAX_PAGE // 2),
+        st.integers(0, MAX_PAGE // 2),
+        st.integers(1, 33),
+    ).map(lambda t: PageSet.strided(t[0], t[0] + t[1], t[2])),
+)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("union"), leaf_sets),
+        st.tuples(st.just("difference"), leaf_sets),
+        st.tuples(st.just("intersect"), leaf_sets),
+        st.tuples(st.just("align_down"), st.integers(1, 64)),
+        st.tuples(st.just("take_first"), st.integers(0, MAX_PAGE)),
+        st.tuples(st.just("clip"), st.integers(0, MAX_PAGE)),
+    ),
+    max_size=8,
+)
+
+
+@given(leaf_sets, ops)
+def test_operation_chains_match_oracle(ps, chain):
+    ref = oracle(ps)
+    for op, arg in chain:
+        if op == "union":
+            ps, ref = ps.union(arg), ref | oracle(arg)
+        elif op == "difference":
+            ps, ref = ps.difference(arg), ref - oracle(arg)
+        elif op == "intersect":
+            ps, ref = ps.intersect(arg), ref & oracle(arg)
+        elif op == "align_down":
+            ps, ref = ps.align_down(arg), oracle_align_down(ref, arg)
+        elif op == "take_first":
+            ps, ref = ps.take_first(arg), oracle_take_first(ref, arg)
+        elif op == "clip":
+            ps, ref = ps.clip(arg), frozenset(p for p in ref if p < arg)
+        assert oracle(ps) == ref, f"after {op}({arg})"
+        assert ps.count == len(ref)
+
+
+@given(leaf_sets, st.integers(1, 64))
+def test_blocks_matches_oracle(ps, g):
+    assert list(ps.blocks(g)) == oracle_blocks(oracle(ps), g)
+
+
+@given(leaf_sets, st.integers(1, 64))
+def test_align_down_covers_whole_blocks(ps, g):
+    aligned = oracle(ps.align_down(g))
+    assert aligned == oracle_align_down(oracle(ps), g)
+    assert len(aligned) % g == 0
+
+
+# -- interval-list overflow past MAX_SYMBOLIC_RUNS -------------------------
+
+
+@settings(max_examples=25)
+@given(
+    st.integers(MAX_SYMBOLIC_RUNS + 1, 3 * MAX_SYMBOLIC_RUNS),
+    st.integers(1, 4),
+    st.integers(2, 6),
+)
+def test_run_count_overflow_preserves_semantics(n_runs, width, gap):
+    """More disjoint runs than the symbolic cap must still behave
+    identically to the oracle, whatever representation results."""
+    stride = width + gap
+    bounds = [(i * stride, i * stride + width) for i in range(n_runs)]
+    ps = PageSet.from_runs(bounds)
+    ref = frozenset(
+        p for lo, hi in bounds for p in range(lo, hi)
+    )
+    assert oracle(ps) == ref
+    assert ps.count == n_runs * width
+    # Algebra still matches after overflow.
+    probe = PageSet.strided(0, n_runs * stride, 2)
+    assert oracle(ps.difference(probe)) == ref - oracle(probe)
+    assert oracle(ps.union(probe)) == ref | oracle(probe)
+    assert oracle(ps.align_down(8)) == oracle_align_down(ref, 8)
+
+
+def test_overflowed_union_degrades_without_data_loss():
+    """Unioning many scattered singletons crosses the symbolic-run cap;
+    page membership must survive the representation change exactly."""
+    ps = PageSet.empty()
+    ref = frozenset()
+    rng = np.random.default_rng(1234)
+    for lo in sorted(rng.choice(MAX_PAGE, size=4 * MAX_SYMBOLIC_RUNS,
+                                replace=False).tolist()):
+        ps = ps.union(PageSet.range(lo, lo + 1))
+        ref = ref | {lo}
+    assert oracle(ps) == ref
+    assert ps.count == len(ref)

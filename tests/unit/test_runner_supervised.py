@@ -2,6 +2,8 @@
 the ``repro-bench cache`` subcommand."""
 
 import multiprocessing
+import signal
+import threading
 
 import pytest
 
@@ -21,6 +23,32 @@ needs_fork = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="supervised-pool tests rely on fork inheriting the patched registry",
 )
+
+DEADLINE_S = 60
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline():
+    """Hard wall-clock deadline per test: a regression that hangs the
+    supervised pool (lost reply, dead retry loop) fails *this* test with
+    a traceback instead of stalling the whole suite."""
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test exceeded the {DEADLINE_S}s deadline")
+
+    old = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(DEADLINE_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
 
 
 def _fake_experiment(exp_id):

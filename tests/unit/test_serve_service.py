@@ -63,12 +63,32 @@ def run(coro):
     return asyncio.run(coro)
 
 
+async def wait_until(predicate, timeout=5.0, interval=0.005):
+    """Poll ``predicate`` until true; fail loudly on timeout (no fixed
+    sleeps — keeps the suite deterministic on slow/loaded machines)."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"condition not met within {timeout}s")
+        await asyncio.sleep(interval)
+
+
+async def wait_for_dispatch(svc, n=1):
+    """Wait until ``n`` job(s) are on workers and the queue is empty."""
+    await wait_until(
+        lambda: (
+            svc.metrics_snapshot()["in_flight"] >= n
+            and svc.metrics_snapshot()["queue"]["depth"] == 0
+        )
+    )
+
+
 class TestBackpressure:
     def test_rejects_when_queue_full_and_drains_cleanly(self):
         async def body():
             async with make_service(workers=1, capacity=2) as svc:
                 first = svc.submit("busy", {"delay": 0.4})
-                await asyncio.sleep(0.1)  # let it dequeue onto the worker
+                await wait_for_dispatch(svc)  # let it dequeue onto the worker
                 accepted = [
                     svc.submit("q1", {"delay": 0}),
                     svc.submit("q2", {"delay": 0}),
@@ -91,7 +111,7 @@ class TestBackpressure:
                 workers=1, capacity=8, class_limits={"interactive": 1}
             ) as svc:
                 svc.submit("busy", {"delay": 0.3})
-                await asyncio.sleep(0.1)
+                await wait_for_dispatch(svc)
                 svc.submit("i1", {}, job_class="interactive")
                 with pytest.raises(AdmissionError) as exc:
                     svc.submit("i2", {}, job_class="interactive")
@@ -236,7 +256,7 @@ class TestDrain:
         async def body():
             async with make_service(workers=1, capacity=8) as svc:
                 svc.submit("busy", {"delay": 0.3})
-                await asyncio.sleep(0.1)
+                await wait_for_dispatch(svc)
                 doomed = svc.submit("queued", {})
                 assert svc.cancel(doomed.job_id)
                 await svc.drain()
