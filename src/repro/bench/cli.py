@@ -41,6 +41,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..check.golden import main_verify
 
         return main_verify(argv[1:])
+    if argv and argv[0] == "trace":
+        from .trace_cmd import main_trace
+
+        return main_trace(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -50,7 +54,8 @@ def main(argv: list[str] | None = None) -> int:
         "'repro-bench serve' / 'submit' (concurrent what-if service and "
         "its client), 'repro-bench cache' (result-cache stats and "
         "invalidation), 'repro-bench verify' (golden-trace regression "
-        "gate); see each one's --help.",
+        "gate), 'repro-bench trace' (event timelines -> Perfetto trace "
+        "JSON); see each one's --help.",
     )
     parser.add_argument(
         "experiments",

@@ -93,6 +93,9 @@ class FabricLink:
         self.rev_bandwidth = rev_bandwidth
         self.latency = latency
         self.stats = FabricLinkStats()
+        #: Optional structured event timeline (wired by the topology
+        #: layer); every charge then emits a per-link transfer span.
+        self.timeline = None
 
     @property
     def name(self) -> str:
@@ -129,6 +132,12 @@ class FabricLink:
             s.rev_bytes += nbytes
             s.rev_seconds += seconds
             s.rev_by_class[cls] = s.rev_by_class.get(cls, 0) + nbytes
+        if self.timeline is not None:
+            self.timeline.complete(
+                f"{self.kind.value}:{cls}", self.timeline.now(), seconds,
+                cat="fabric", track=f"fabric/{self.a}->{self.b}",
+                bytes=nbytes, forward=forward,
+            )
 
     def transfer_time(self, nbytes: int, *, forward: bool) -> float:
         """Streaming time across this one link (no charge)."""

@@ -52,6 +52,9 @@ class NvlinkC2C:
     def __init__(self, config: SystemConfig):
         self.config = config
         self.stats = LinkStats()
+        #: Optional structured event timeline (wired by the runtime);
+        #: every charged transfer then emits a ``c2c:<class>`` span.
+        self.timeline = None
 
     def _account(
         self, nbytes: int, src: Processor, seconds: float, cls: str
@@ -65,6 +68,13 @@ class NvlinkC2C:
             self.stats.d2h_seconds += seconds
             by = self.stats.d2h_by_class
         by[cls] = by.get(cls, 0) + nbytes
+        if self.timeline is not None:
+            self.timeline.complete(
+                f"c2c:{cls}", self.timeline.now(), seconds,
+                cat="fabric", track="fabric/c2c",
+                bytes=nbytes,
+                direction="h2d" if src is Processor.CPU else "d2h",
+            )
 
     def account_external(
         self, nbytes: int, src: Processor, seconds: float, cls: str = "dma"

@@ -87,6 +87,8 @@ class ManagedMemoryManager:
         self.fabric = fabric
         self.counters = counters
         self.prefetcher = TreePrefetcher(config)
+        #: Optional structured event timeline (wired by the runtime).
+        self.timeline = None
         #: All live managed allocations, for cross-allocation LRU eviction.
         self.allocations: dict[int, Allocation] = {}
 
@@ -156,6 +158,11 @@ class ManagedMemoryManager:
                 pages_evicted=gpu_pages.count,
                 pages_migrated_d2h=gpu_pages.count,
                 tlb_shootdowns=1,
+            )
+        if self.timeline is not None and freed:
+            self.timeline.complete(
+                "evict-batch", now, seconds, cat="mem", track="mem/eviction",
+                bytes=freed,
             )
         return freed, seconds
 
@@ -359,6 +366,12 @@ class ManagedMemoryManager:
             pages_migrated_d2h=pages.count,
             pages_evicted=pages.count,
         )
+        if self.timeline is not None:
+            self.timeline.complete(
+                "thrash", self.timeline.now(), out.transfer_seconds,
+                cat="mem", track="mem/eviction",
+                alloc=alloc.name, pages=pages.count, bytes=effective,
+            )
 
     def _remote_access(
         self,

@@ -96,6 +96,10 @@ class MemorySubsystem:
         )
         #: Set by :meth:`attach_fabric` on multi-superchip nodes.
         self.fabric_port = None
+        #: Opt-in structured event timeline (wired by the runtime along
+        #: with ``managed.timeline`` / ``link.timeline``); ``None`` keeps
+        #: the access path emission-free.
+        self.timeline = None
         #: Opt-in invariant checker (``SystemConfig.sanitize=True`` or
         #: ``REPRO_SANITIZE=1``); ``None`` means zero overhead.
         self.sanitizer = None
@@ -195,6 +199,22 @@ class MemorySubsystem:
     def begin_epoch(self) -> MigrationReport:
         """Service pending access-counter notifications (Section 2.2.1)."""
         report = self.migrator.service(self.system_table.live_allocations())
+        if self.timeline is not None:
+            now = self.timeline.now()
+            self.timeline.instant(
+                "epoch", cat="sim", track="sim/epoch",
+                pages_migrated=report.pages_migrated,
+            )
+            if report.pages_migrated:
+                # The DMA runs concurrently with the upcoming epoch; the
+                # span covers the transfer window from epoch start.
+                self.timeline.complete(
+                    "migrate-batch", now, report.transfer_seconds,
+                    cat="mem", track="mem/migration",
+                    pages=report.pages_migrated,
+                    bytes=report.bytes_migrated,
+                    stall_seconds=report.stall_seconds,
+                )
         if self.sanitizer is not None:
             self.sanitizer.begin_epoch()
         return report
@@ -249,6 +269,15 @@ class MemorySubsystem:
         if unmapped:
             fault = self.faults.first_touch(alloc, unmapped, processor)
             res.fault_seconds += fault.seconds
+            if self.timeline is not None:
+                self.timeline.complete(
+                    "first-touch", self.timeline.now(), fault.seconds,
+                    cat="mem", track="mem/fault",
+                    alloc=alloc.name, processor=processor.name,
+                    pages=unmapped.count,
+                    pages_on_gpu=fault.pages_on_gpu,
+                    pages_on_cpu=fault.pages_on_cpu,
+                )
 
         counts = alloc.split_counts(pages)
         local_loc = Location.GPU if processor is Processor.GPU else Location.CPU
@@ -400,7 +429,14 @@ class MemorySubsystem:
         if alloc.kind is not AllocKind.MANAGED:
             raise ValueError("prefetch_async applies to managed allocations")
         pages = PageSet.full(alloc.n_pages) if pages is None else pages
-        return self.managed.prefetch_to_gpu(alloc, pages.clip(alloc.n_pages), now)
+        pages = pages.clip(alloc.n_pages)
+        seconds = self.managed.prefetch_to_gpu(alloc, pages, now)
+        if self.timeline is not None:
+            self.timeline.complete(
+                "prefetch", now, seconds, cat="mem", track="mem/prefetch",
+                alloc=alloc.name, pages=pages.count,
+            )
+        return seconds
 
     # -- introspection (profiler back-end) ---------------------------------------------
 

@@ -4,6 +4,17 @@ Nsight-style event traces (Section 3.2 of the paper)."""
 from .counters import CounterSet, HardwareCounters, Histogram, KernelTrafficRecord
 from .memprofiler import MemoryProfile, MemoryProfiler, MemorySample
 from .nsight import FaultSummary, NsightTrace
+from .timeline import (
+    Span,
+    Timeline,
+    TimelineEvent,
+    TimelineSession,
+    export_perfetto,
+    maybe_timeline,
+    timeline_requested,
+    to_perfetto,
+    validate_perfetto,
+)
 from .trace import AccessTrace, TraceRecord, TraceRecorder, replay
 
 __all__ = [
@@ -20,4 +31,13 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "replay",
+    "Span",
+    "Timeline",
+    "TimelineEvent",
+    "TimelineSession",
+    "export_perfetto",
+    "maybe_timeline",
+    "timeline_requested",
+    "to_perfetto",
+    "validate_perfetto",
 ]

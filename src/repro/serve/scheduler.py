@@ -30,11 +30,16 @@ class Scheduler:
         pool: SupervisedWorkerPool,
         metrics: ServiceMetrics,
         cache: ResultCache | None = None,
+        timeline=None,
     ):
         self.queue = queue
         self.pool = pool
         self.metrics = metrics
         self.cache = cache
+        #: Optional wall-clock :class:`repro.profiling.Timeline`; every
+        #: job then leaves queue-wait / dispatch / worker-exec spans
+        #: correlated by ``job_id``.
+        self.timeline = timeline
         #: coalescing map: fingerprint -> accepted-but-unfinished Job
         self.inflight: dict[str, Job] = {}
         self._slots = asyncio.Semaphore(len(pool))
@@ -75,6 +80,13 @@ class Scheduler:
     async def _execute(self, job: Job) -> None:
         job.started_at = time.monotonic()
         self.metrics.queue_wait.record(job.queue_wait)
+        if self.timeline is not None:
+            self.timeline.complete(
+                "queue-wait", job.submitted_at, job.queue_wait,
+                cat="serve", track="serve/queue",
+                job_id=job.job_id, exp_id=job.exp_id,
+                job_class=job.job_class,
+            )
 
         # Sequential dedup: an identical job may have completed (and been
         # cached) while this one sat in the queue.
@@ -99,6 +111,7 @@ class Scheduler:
                 job.job_id, exp_id, attempt + 2, exc,
             )
 
+        dispatch_start = job.started_at
         try:
             payload = await asyncio.to_thread(
                 self.pool.run_with_retry,
@@ -107,17 +120,30 @@ class Scheduler:
                 timeout=job.timeout,
                 retries=job.retries,
                 on_retry=on_retry,
+                timeline=self.timeline,
+                job_id=job.job_id,
             )
         except JobFailed as exc:
             if "timed out" in exc.reason:
                 self.metrics.timeouts += 1  # the final, non-retried attempt
             job.attempts = exc.attempts
+            self._dispatch_span(job, dispatch_start, "failed")
             self._fail(job, exc)
             return
+        self._dispatch_span(job, dispatch_start, "completed")
         result = _deserialize(payload)
         if self.cache is not None:
             await asyncio.to_thread(self.cache.put, result, **job.kwargs)
         self._resolve(job, result)
+
+    def _dispatch_span(self, job: Job, start: float, outcome: str) -> None:
+        if self.timeline is not None:
+            self.timeline.complete(
+                "dispatch", start, time.monotonic() - start,
+                cat="serve", track="serve/dispatch",
+                job_id=job.job_id, exp_id=job.exp_id,
+                attempts=job.attempts, outcome=outcome,
+            )
 
     def _resolve(self, job: Job, result) -> None:
         self.inflight.pop(job.key, None)

@@ -49,6 +49,11 @@ class ServiceConfig:
     #: worker)
     known_experiments: frozenset[str] | None = None
     metrics_interval: float = 10.0
+    #: Optional explicit wall-clock :class:`repro.profiling.Timeline`
+    #: for queue-wait/dispatch/worker-exec spans. When left ``None`` one
+    #: is still created if timelines are requested globally
+    #: (``REPRO_TIMELINE=1`` or an active ``TimelineSession``).
+    timeline: object | None = None
 
 
 @dataclass
@@ -80,6 +85,16 @@ class SimulationService:
     def __init__(self, config: ServiceConfig | None = None, **overrides):
         self.config = config or ServiceConfig(**overrides)
         self.metrics = ServiceMetrics()
+        if self.config.timeline is not None:
+            self.timeline = self.config.timeline
+        else:
+            import time as _time
+
+            from ..profiling.timeline import maybe_timeline
+
+            self.timeline = maybe_timeline(
+                None, _time.monotonic, name="serve", tag_os_ids=True
+            )
         self.queue = BoundedPriorityQueue(
             self.config.capacity, self.config.class_limits
         )
@@ -104,7 +119,10 @@ class SimulationService:
         self.pool = await asyncio.to_thread(
             SupervisedWorkerPool, cfg.workers, cfg.runner_spec
         )
-        scheduler = Scheduler(self.queue, self.pool, self.metrics, cfg.cache)
+        scheduler = Scheduler(
+            self.queue, self.pool, self.metrics, cfg.cache,
+            timeline=self.timeline,
+        )
         self.scheduler = scheduler
         pool = self.pool  # gauges must survive stop() clearing self.pool
         m = self.metrics
@@ -378,6 +396,11 @@ def main_serve(argv: list[str] | None = None) -> int:
         "--metrics-interval", type=float, default=10.0,
         help="seconds between structured metrics log lines (0 disables)",
     )
+    parser.add_argument(
+        "--timeline", metavar="PATH", default=None,
+        help="record queue-wait/dispatch/worker-exec spans and write a "
+        "Perfetto trace JSON here at shutdown",
+    )
     args = parser.parse_args(argv)
 
     logging.basicConfig(level=logging.INFO, format="%(message)s")
@@ -386,6 +409,15 @@ def main_serve(argv: list[str] | None = None) -> int:
         class_limits["interactive"] = args.interactive_limit
     if args.batch_limit is not None:
         class_limits["batch"] = args.batch_limit
+    timeline = None
+    if args.timeline:
+        import time as _time
+
+        from ..profiling.timeline import Timeline
+
+        timeline = Timeline(
+            time_fn=_time.monotonic, name="serve", tag_os_ids=True
+        )
     config = ServiceConfig(
         workers=args.workers,
         capacity=args.capacity,
@@ -395,6 +427,7 @@ def main_serve(argv: list[str] | None = None) -> int:
         cache=None if args.no_cache else ResultCache(args.cache_dir),
         known_experiments=frozenset(experiment_ids()),
         metrics_interval=args.metrics_interval,
+        timeline=timeline,
     )
 
     async def amain() -> None:
@@ -412,6 +445,12 @@ def main_serve(argv: list[str] | None = None) -> int:
         except asyncio.CancelledError:
             logger.info("serve: signal received, draining")
             await service.shutdown()
+        if timeline is not None:
+            from ..profiling.timeline import export_perfetto
+
+            out = export_perfetto([timeline], args.timeline)
+            logger.info("serve: wrote %d-event timeline to %s",
+                        len(timeline), out)
 
     asyncio.run(amain())
     return 0

@@ -256,11 +256,16 @@ class SupervisedWorkerPool:
         timeout: float | None = None,
         retries: int = 0,
         on_retry=None,
+        timeline=None,
+        job_id: str = "",
     ) -> dict:
         """Run a job, retrying timeouts and crashes up to ``retries``
         times (restarting the worker each time). Job-body exceptions are
         deterministic and fail immediately. ``on_retry(exp_id, attempt,
-        exc)`` fires before each retry (metrics hook)."""
+        exc)`` fires before each retry (metrics hook). ``timeline``
+        (a wall-clock :class:`repro.profiling.Timeline`) gets one
+        ``worker-exec`` span per attempt, tagged with the worker's OS
+        pid and correlated by ``job_id``."""
         last: Exception | None = None
         attempts = 0
         for attempt in range(retries + 1):
@@ -268,17 +273,31 @@ class SupervisedWorkerPool:
                 raise JobFailed(exp_id, "pool shutting down", attempts)
             worker = self._free.get()
             attempts += 1
+            exec_start = time.monotonic()
+            exec_pid = worker.pid  # the attempt's child (restart changes it)
+            outcome = "completed"
             try:
                 return worker.run(exp_id, kwargs, timeout=timeout)
             except (WorkerTimeout, WorkerCrashed) as exc:
                 last = exc
+                outcome = "timeout" if isinstance(exc, WorkerTimeout) else "crash"
                 if not self._closing:
                     worker.restart()
                 if on_retry is not None and attempt < retries:
                     on_retry(exp_id, attempt, exc)
             except JobError as exc:
+                outcome = "error"
                 raise JobFailed(exp_id, str(exc), attempts) from exc
             finally:
+                if timeline is not None:
+                    timeline.complete(
+                        "worker-exec", exec_start,
+                        time.monotonic() - exec_start,
+                        cat="serve", track=f"serve/{worker.name}",
+                        job_id=job_id, exp_id=exp_id, attempt=attempt,
+                        worker=worker.name, worker_pid=exec_pid,
+                        outcome=outcome,
+                    )
                 self._free.put(worker)
         kind = "timed out" if isinstance(last, WorkerTimeout) else "crashed"
         raise JobFailed(exp_id, f"{kind}: {last}", attempts) from last

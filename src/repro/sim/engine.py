@@ -69,6 +69,10 @@ class TickListener:
             self.callback(self.next_fire)
             self.next_fire += self.period
 
+    def reset(self, now: float = 0.0) -> None:
+        """Re-arm relative to ``now`` (the clock rewound or restarted)."""
+        self.next_fire = now + self.period
+
 
 class SimClock:
     """Simulated wall clock with an event queue and trace log."""
@@ -80,6 +84,10 @@ class SimClock:
         self._listeners: list[TickListener] = []
         self.trace: list[TraceEvent] = []
         self.trace_enabled = True
+        #: Optional :class:`repro.profiling.Timeline` (wired by the
+        #: runtime when timelines are requested; ``None`` keeps the
+        #: advance hot path emission-free).
+        self.timeline = None
 
     # -- time ------------------------------------------------------------
 
@@ -103,6 +111,10 @@ class SimClock:
             listener.catch_up(self._now)
         if activity and self.trace_enabled:
             self.record("activity", name=activity, duration=dt)
+        if activity and self.timeline is not None:
+            self.timeline.complete(
+                activity, target - dt, dt, cat="sim", track="sim/activity"
+            )
         return self._now
 
     def _drain_until(self, target: float) -> None:
@@ -169,7 +181,12 @@ class SimClock:
     def reset(self) -> None:
         self._now = 0.0
         self._queue.clear()
-        self._listeners.clear()
+        # Listeners stay registered — their owners (e.g. the memory
+        # profiler) outlive a reset and would otherwise silently stop
+        # sampling on the next run (and crash trying to deregister).
+        # Re-arm each one relative to the rewound clock instead.
+        for listener in self._listeners:
+            listener.reset(0.0)
         self.trace.clear()
         # Restart the tie-break sequence too, so event ordering is
         # reproducible across back-to-back runs in one process (pooled

@@ -163,6 +163,18 @@ class ShardedSystem:
             port = FabricPort(self, i)
             gh.mem.attach_fabric(port)
             self.ports.append(port)
+        from ..profiling.timeline import maybe_timeline
+
+        #: Node-level timeline on the lockstep time axis (``None`` unless
+        #: requested): BSP exchange phases plus every fabric link's
+        #: per-transfer spans (shard-internal events live on each shard's
+        #: own ``gh.timeline``).
+        self.timeline = maybe_timeline(
+            base, lambda: self.now, name="fabric:node"
+        )
+        if self.timeline is not None:
+            for link in self.topology.links:
+                link.timeline = self.timeline
 
     @property
     def n_superchips(self) -> int:
@@ -217,7 +229,16 @@ class ShardedSystem:
         butterfly): routed with per-link contention, charged to every
         shard's clock, and tallied on each *sending* chip's counters."""
         self.barrier(activity=f"{label}:enter")
+        start = self.now
         outcome = self.router.exchange_phase(transfers, cls=cls)
+        if self.timeline is not None:
+            self.timeline.complete(
+                label, start, outcome.seconds,
+                cat="fabric", track="fabric/exchange",
+                bytes=outcome.total_bytes,
+                transfers=outcome.n_transfers,
+                bottleneck=str(outcome.bottleneck_link or ""),
+            )
         for nbytes, src, dst in transfers:
             if nbytes <= 0 or src == dst:
                 continue

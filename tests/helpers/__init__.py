@@ -1,0 +1,1 @@
+"""Shared assertion helpers for the test suite."""
