@@ -614,19 +614,30 @@ def main_cache(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     cache = ResultCache(args.cache_dir)
+    from ..sim.checkpoint import CheckpointStore
+
+    ckpt_root = Path(args.cache_dir) / "checkpoints" if args.cache_dir else None
+    ckpts = CheckpointStore(ckpt_root)
 
     if args.action == "invalidate":
         if args.experiments:
             removed = sum(cache.invalidate(e) for e in args.experiments)
+            print(f"invalidated {removed} cached result(s) under {cache.root}")
         else:
             removed = cache.invalidate()
-        print(f"invalidated {removed} cached result(s) under {cache.root}")
+            dropped = ckpts.invalidate()
+            print(
+                f"invalidated {removed} cached result(s) and {dropped} "
+                f"epoch checkpoint(s) under {cache.root}"
+            )
         return 0
 
     if args.experiments:
         parser.error("experiment ids only apply to 'invalidate'")
     stats = cache.stats()
+    ckpt_stats = ckpts.stats()
     if args.json:
+        stats["checkpoints"] = ckpt_stats
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
     print(f"cache root:  {stats['root']}")
@@ -634,6 +645,13 @@ def main_cache(argv: list[str] | None = None) -> int:
     print(
         f"lifetime:    {stats['lifetime_hits']} hits / "
         f"{stats['lifetime_misses']} misses"
+    )
+    print(
+        f"checkpoints: {ckpt_stats['entries']} "
+        f"({ckpt_stats['bytes']} bytes), "
+        f"{ckpt_stats['lifetime_hits']} hits / "
+        f"{ckpt_stats['lifetime_misses']} misses, "
+        f"{ckpt_stats['lifetime_restored_bytes']} bytes restored"
     )
     if stats["by_experiment"]:
         width = max(len(e) for e in stats["by_experiment"])

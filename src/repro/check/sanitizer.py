@@ -242,6 +242,21 @@ class MemSanitizer:
                 alloc=alloc,
                 details={"sum": int(fresh.sum()), "n_pages": alloc.n_pages},
             )
+        fresh_blocks = np.bincount(
+            np.flatnonzero(state == Location.GPU) // alloc.block_pages,
+            minlength=alloc.n_blocks,
+        )
+        if not np.array_equal(fresh_blocks, alloc._gpu_block_counts):
+            self._fail(
+                "residency-exclusivity",
+                "incremental per-block GPU counts drifted from the state "
+                "array",
+                alloc=alloc,
+                details={
+                    "recount_sum": int(fresh_blocks.sum()),
+                    "incremental_sum": int(alloc._gpu_block_counts.sum()),
+                },
+            )
         self._check_remote_map(alloc)
         if not alloc.freed:
             self._check_alloc_bytes(alloc)

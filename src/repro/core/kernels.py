@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 from ..devices.cpu import CpuDevice
 from ..devices.gpu import GpuDevice
+from ..mem.batch import AccessBatch
 from ..mem.coherence import AccessShape
 from ..mem.pageset import PageSet
 from ..mem.subsystem import AccessResult, MemorySubsystem
@@ -29,6 +30,15 @@ from ..profiling.counters import HardwareCounters
 from ..sim.config import Processor, SystemConfig
 from ..sim.engine import SimClock
 from .unified_array import UnifiedArray
+
+
+def _as_batch(accesses) -> AccessBatch:
+    """Accept an epoch's descriptors as either an :class:`AccessBatch`
+    (apps emitting structure-of-arrays directly) or a sequence of
+    :class:`ArrayAccess`."""
+    if isinstance(accesses, AccessBatch):
+        return accesses
+    return AccessBatch.from_accesses(accesses)
 
 
 @dataclass(frozen=True)
@@ -120,7 +130,7 @@ class KernelExecutor:
     def launch(
         self,
         name: str,
-        accesses: Sequence[ArrayAccess],
+        accesses: Sequence[ArrayAccess] | AccessBatch,
         *,
         flops: float = 0.0,
         reuse: float = 1.0,
@@ -140,18 +150,9 @@ class KernelExecutor:
         ctx_time = self.gpu.context_init_time()
 
         self.counters.begin_kernel(name, self.clock.now)
-        total = AccessResult()
-        for acc in accesses:
-            total.merge(
-                self.mem.access(
-                    Processor.GPU,
-                    acc.array.alloc,
-                    acc.pages,
-                    acc.shape,
-                    write=acc.write,
-                    now=self.clock.now,
-                )
-            )
+        total = self.mem.access_batch(
+            Processor.GPU, _as_batch(accesses), now=self.clock.now
+        )
 
         if compute is not None:
             compute()
@@ -202,25 +203,16 @@ class KernelExecutor:
     def cpu_phase(
         self,
         name: str,
-        accesses: Sequence[ArrayAccess] = (),
+        accesses: Sequence[ArrayAccess] | AccessBatch = (),
         *,
         threads: int = 1,
         fixed_time: float = 0.0,
         compute: Callable[[], None] | None = None,
     ) -> PhaseRecord:
         """Run a CPU-side phase (initialisation loops, reductions)."""
-        total = AccessResult()
-        for acc in accesses:
-            total.merge(
-                self.mem.access(
-                    Processor.CPU,
-                    acc.array.alloc,
-                    acc.pages,
-                    acc.shape,
-                    write=acc.write,
-                    now=self.clock.now,
-                )
-            )
+        total = self.mem.access_batch(
+            Processor.CPU, _as_batch(accesses), now=self.clock.now
+        )
         if compute is not None:
             compute()
         # Remote bytes are still consumed by the CPU threads at their own

@@ -1,0 +1,104 @@
+"""Structure-of-arrays access descriptors for one epoch.
+
+Applications describe a whole epoch's memory traffic as one
+:class:`AccessBatch`: parallel arrays of scalar descriptor fields
+(useful/element bytes, density, write flags) alongside the per-descriptor
+:class:`~repro.mem.pageset.PageSet` and allocation references. The batch
+is what :meth:`repro.mem.subsystem.MemorySubsystem.access_batch` fuses
+into vectorised passes — descriptors whose allocation is homogeneously
+resident on the accessing processor (the overwhelmingly common steady
+state) charge bytes and counters without ever touching the page-state
+machinery, and the migrator is fed once per epoch rather than once per
+descriptor.
+
+Keeping the scalar fields in numpy arrays (rather than a list of shape
+objects) lets batch-level invariants — total useful bytes, write
+fraction, descriptor count — be computed without a Python loop, and
+gives the executor a stable serialisable form for epoch replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coherence import AccessShape
+from .pagetable import Allocation
+from .pageset import PageSet
+
+
+@dataclass
+class AccessBatch:
+    """One epoch's access descriptors in structure-of-arrays form."""
+
+    #: Per-descriptor allocation / page-set references (object columns).
+    allocs: list[Allocation] = field(default_factory=list)
+    pages: list[PageSet] = field(default_factory=list)
+    #: Scalar descriptor columns, index-aligned with ``allocs``/``pages``.
+    useful_bytes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    element_bytes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    density: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+    write: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+
+    def __len__(self) -> int:
+        return len(self.allocs)
+
+    @staticmethod
+    def from_items(items) -> "AccessBatch":
+        """Build from an iterable of ``(alloc, pages, shape, write)``."""
+        items = list(items)
+        batch = AccessBatch(
+            allocs=[it[0] for it in items],
+            pages=[it[1] for it in items],
+            useful_bytes=np.fromiter(
+                (it[2].useful_bytes for it in items), dtype=np.int64,
+                count=len(items),
+            ),
+            element_bytes=np.fromiter(
+                (it[2].element_bytes for it in items), dtype=np.int64,
+                count=len(items),
+            ),
+            density=np.fromiter(
+                (it[2].density for it in items), dtype=np.float64,
+                count=len(items),
+            ),
+            write=np.fromiter(
+                (bool(it[3]) for it in items), dtype=bool, count=len(items)
+            ),
+        )
+        return batch
+
+    @staticmethod
+    def from_accesses(accesses) -> "AccessBatch":
+        """Build from :class:`~repro.core.kernels.ArrayAccess`-like
+        objects (``.array.alloc``, ``.pages``, ``.shape``, ``.write``)."""
+        return AccessBatch.from_items(
+            (acc.array.alloc, acc.pages, acc.shape, acc.write)
+            for acc in accesses
+        )
+
+    def shape(self, i: int) -> AccessShape:
+        """Materialise descriptor ``i``'s access shape object."""
+        return AccessShape(
+            useful_bytes=int(self.useful_bytes[i]),
+            element_bytes=int(self.element_bytes[i]),
+            density=float(self.density[i]),
+        )
+
+    # -- batch-level summaries (vectorised over the scalar columns) -------
+
+    def total_useful_bytes(self) -> int:
+        counts = np.fromiter(
+            (p.count for p in self.pages), dtype=np.int64, count=len(self)
+        )
+        return int((self.useful_bytes * counts).sum())
+
+    def write_fraction(self) -> float:
+        return float(self.write.mean()) if len(self) else 0.0

@@ -129,35 +129,60 @@ class ManagedMemoryManager:
             return 0, 0.0
         target = needed - self.physical.gpu.free
         # Gather (allocation, block) candidates ordered by last touch.
-        candidates: list[tuple[float, Allocation, int]] = []
-        for alloc in self.allocations.values():
-            for block in alloc.lru_gpu_blocks():
-                candidates.append(
-                    (float(alloc.block_last_touch[block]), alloc, int(block))
-                )
-        candidates.sort(key=lambda c: c[0])
-        for _, alloc, block in candidates:
-            if freed >= target:
-                break
-            pages = alloc.block_pageset(np.asarray([block], dtype=np.int64))
-            gpu_pages = alloc.subset(pages, Location.GPU)
-            if not gpu_pages:
-                continue
+        # Vectorised: per-allocation LRU block lists (already stably
+        # ordered by touch time) are concatenated and merged with one
+        # global stable argsort — identical ordering to sorting
+        # per-candidate tuples, without building millions of them.
+        allocs = [a for a in self.allocations.values() if a.pages_at(Location.GPU)]
+        if not allocs:
+            return 0, 0.0
+        per_alloc_blocks = [a.lru_gpu_blocks() for a in allocs]
+        blocks = np.concatenate(per_alloc_blocks)
+        touch = np.concatenate(
+            [a.block_last_touch[b] for a, b in zip(allocs, per_alloc_blocks)]
+        )
+        counts = np.concatenate(
+            [a._gpu_block_counts[b] for a, b in zip(allocs, per_alloc_blocks)]
+        )
+        owner = np.repeat(
+            np.arange(len(allocs)), [b.size for b in per_alloc_blocks]
+        )
+        order = np.argsort(touch, kind="stable")
+        blocks, counts, owner = blocks[order], counts[order], owner[order]
+        # The per-block loop evicts while the running total is still
+        # short of the target; every candidate frees > 0 bytes, so the
+        # selection is the shortest prefix whose cumulative bytes reach it.
+        nbytes_each = counts * self.config.system_page_size
+        cum = np.cumsum(nbytes_each)
+        n_sel = int(np.count_nonzero(cum - nbytes_each < target))
+        blocks, counts, owner = blocks[:n_sel], counts[:n_sel], owner[:n_sel]
+        freed = int(cum[n_sel - 1]) if n_sel else 0
+        # Simulated time (and the link's float ledgers) must match the
+        # per-block loop bit for bit: floats are accumulated by the same
+        # per-block call sequence, in the same global LRU order. Only the
+        # page-state writes and integer accounting are batched per
+        # allocation below.
+        for i in range(n_sel):
+            t = self.link.streaming_time(
+                int(nbytes_each[i]), Processor.GPU, Processor.CPU
+            )
+            seconds += t / self.config.eviction_bandwidth_fraction
+            seconds += self.tlbs.gpu.shootdown(int(counts[i]))
+        for ai in np.unique(owner):
+            alloc = allocs[ai]
+            sel = blocks[owner == ai]
+            gpu_pages = alloc.subset(alloc.block_pageset(sel), Location.GPU)
             nbytes = self._page_bytes(gpu_pages.count)
             alloc.set_location(gpu_pages, Location.CPU)
             self.physical.gpu.release(nbytes, tag=self._tag(alloc))
             self.physical.cpu.reserve(nbytes, tag=self._tag(alloc))
-            t = self.link.streaming_time(nbytes, Processor.GPU, Processor.CPU)
-            seconds += t / self.config.eviction_bandwidth_fraction
-            seconds += self.tlbs.gpu.shootdown(gpu_pages.count)
-            freed += nbytes
             alloc.stats.pages_evicted += gpu_pages.count
             self.counters.bump(
                 eviction_bytes=nbytes,
                 migration_d2h_bytes=nbytes,
                 pages_evicted=gpu_pages.count,
                 pages_migrated_d2h=gpu_pages.count,
-                tlb_shootdowns=1,
+                tlb_shootdowns=int(sel.size),
             )
         if self.timeline is not None and freed:
             self.timeline.complete(

@@ -27,6 +27,7 @@ Model highlights, matching the behaviour the paper measures:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..interconnect.nvlink import NvlinkC2C
@@ -70,6 +71,11 @@ class AccessCounterMigrator:
         #: :class:`~repro.topology.ShardedSystem`); ``None`` keeps the
         #: single-superchip behaviour untouched.
         self.fabric_port = None
+        #: When not ``None``, counter bumps are queued here instead of
+        #: applied (see :meth:`deferred`); counters are only *read* at
+        #: :meth:`service` time, so applying a batch's bumps once at the
+        #: end of the batch is exact.
+        self._deferred: list | None = None
 
     # -- notification side -------------------------------------------------
 
@@ -80,7 +86,28 @@ class AccessCounterMigrator:
         pages of a system allocation."""
         if alloc.kind is not AllocKind.SYSTEM or not self.config.migration_enable:
             return
+        if self._deferred is not None:
+            self._deferred.append((alloc, cpu_pages, accesses_per_page))
+            return
         alloc.counters.add(cpu_pages, accesses_per_page)
+
+    @contextmanager
+    def deferred(self):
+        """Queue counter bumps for the duration of one access batch and
+        apply them on exit (once per epoch instead of once per
+        descriptor). Counter adds commute and nothing reads the counters
+        until the next :meth:`service`, so this is result-identical to
+        applying each bump inline."""
+        if self._deferred is not None:  # nested batches share one queue
+            yield
+            return
+        self._deferred = []
+        try:
+            yield
+        finally:
+            pending, self._deferred = self._deferred, None
+            for alloc, pages, amount in pending:
+                alloc.counters.add(pages, amount)
 
     # -- servicing side -------------------------------------------------------
 
@@ -106,6 +133,15 @@ class AccessCounterMigrator:
                 alloc.pages_at(Location.REMOTE) if self.fabric_port else 0
             )
             if alloc.pages_at(Location.CPU) == 0 and n_remote == 0:
+                continue
+            counters = alloc.counters
+            if (
+                counters.extra is None
+                and counters.base < self.config.migration_threshold
+            ):
+                # No per-page counters and the uniform count is below the
+                # threshold: ``crossed`` is provably empty, so skip before
+                # materialising the (potentially huge) residency subsets.
                 continue
             movable = Location.CPU if n_remote == 0 else None
             if movable is None:

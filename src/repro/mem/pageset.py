@@ -532,15 +532,24 @@ class PageSet:
 def _mask_to_bounds(
     mask: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray] | tuple[None, None]:
-    """Run bounds (relative starts/stops) of the True runs of ``mask``."""
+    """Run bounds (relative starts/stops) of the True runs of ``mask``.
+
+    One boundary scan: every index where the mask flips value is either a
+    run start or a run stop, strictly alternating; whether the even or odd
+    positions are the starts depends only on ``mask[0]``. A single
+    ``flatnonzero`` over the flip mask replaces the older diff + two
+    flatnonzero passes (3 full-array sweeps -> 1, plus two boolean ops).
+    """
     if mask.size == 0 or not mask.any():
         return None, None
     m = mask.view(np.int8) if mask.dtype == bool else mask.astype(np.int8)
-    d = np.diff(m)
-    starts = np.flatnonzero(d == 1).astype(np.int64) + 1
-    stops = np.flatnonzero(d == -1).astype(np.int64) + 1
+    flips = np.flatnonzero(m[1:] != m[:-1]).astype(np.int64) + 1
     if m[0]:
-        starts = np.concatenate(([0], starts))
+        starts = np.concatenate(([0], flips[1::2]))
+        stops = flips[0::2]
+    else:
+        starts = flips[0::2]
+        stops = flips[1::2]
     if m[-1]:
         stops = np.concatenate((stops, [m.size]))
     return starts, stops

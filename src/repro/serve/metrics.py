@@ -40,6 +40,13 @@ class ServiceMetrics:
         self.cancelled = 0
         self.timeouts = 0  # individual attempt timeouts
         self.retries = 0
+        # Epoch-checkpoint reuse reported back by what-if replay jobs
+        # (see repro.sim.whatif): how much simulation the service skipped.
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        self.checkpoint_stores = 0
+        self.checkpoint_restored_bytes = 0
+        self.checkpoint_suffix_batches = 0
         self.queue_wait = Histogram()
         self.exec_latency = Histogram()
         self.total_latency = Histogram()
@@ -52,6 +59,15 @@ class ServiceMetrics:
 
     def reject(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def note_checkpoint(self, meta: dict) -> None:
+        """Fold one job's checkpoint-store telemetry into the service
+        totals (the scheduler strips it from the job payload)."""
+        self.checkpoint_hits += int(meta.get("hits", 0))
+        self.checkpoint_misses += int(meta.get("misses", 0))
+        self.checkpoint_stores += int(meta.get("stores", 0))
+        self.checkpoint_restored_bytes += int(meta.get("restored_bytes", 0))
+        self.checkpoint_suffix_batches += int(meta.get("batches_replayed", 0))
 
     @property
     def rejected_total(self) -> int:
@@ -91,6 +107,13 @@ class ServiceMetrics:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "hit_ratio": round(self.cache_hit_ratio(), 4),
+            },
+            "checkpoint": {
+                "hits": self.checkpoint_hits,
+                "misses": self.checkpoint_misses,
+                "stores": self.checkpoint_stores,
+                "restored_bytes": self.checkpoint_restored_bytes,
+                "suffix_batches": self.checkpoint_suffix_batches,
             },
             "latency_s": {
                 "queue_wait": self.queue_wait.snapshot(),

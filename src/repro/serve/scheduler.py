@@ -131,6 +131,13 @@ class Scheduler:
             self._fail(job, exc)
             return
         self._dispatch_span(job, dispatch_start, "completed")
+        if isinstance(payload, dict):
+            # Side-channel from checkpoint-aware runners (the what-if
+            # replayer): stripped before deserialisation so cached
+            # payloads stay pure results.
+            ckpt_meta = payload.pop("_checkpoint", None)
+            if ckpt_meta:
+                self.metrics.note_checkpoint(ckpt_meta)
         result = _deserialize(payload)
         if self.cache is not None:
             await asyncio.to_thread(self.cache.put, result, **job.kwargs)

@@ -21,7 +21,6 @@ Two event facilities complement the batch path:
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -80,7 +79,9 @@ class SimClock:
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[_ScheduledEvent] = []
-        self._seq = itertools.count()
+        #: Event tie-break sequence. A plain integer (not an iterator) so
+        #: epoch checkpoints can capture and restore it.
+        self._seq = 0
         self._listeners: list[TickListener] = []
         self.trace: list[TraceEvent] = []
         self.trace_enabled = True
@@ -135,7 +136,8 @@ class SimClock:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("cannot schedule events in the past")
-        ev = _ScheduledEvent(self._now + delay, next(self._seq), action, label)
+        ev = _ScheduledEvent(self._now + delay, self._seq, action, label)
+        self._seq += 1
         heapq.heappush(self._queue, ev)
         return ev
 
@@ -191,7 +193,7 @@ class SimClock:
         # Restart the tie-break sequence too, so event ordering is
         # reproducible across back-to-back runs in one process (pooled
         # experiment workers reuse the interpreter).
-        self._seq = itertools.count()
+        self._seq = 0
 
 
 class Stopwatch:

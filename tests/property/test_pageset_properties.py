@@ -138,3 +138,58 @@ def test_algebra_results_stay_canonical(a, b):
                 assert lo < hi < lo2  # sorted and with a real gap
             assert r.runs[-1][0] < r.runs[-1][1]
             assert (r.start, r.stop) == (r.runs[0][0], r.runs[-1][1])
+
+
+# -- the single-boundary-scan mask vectorisation -----------------------------
+
+def _seed_mask_to_bounds(mask: np.ndarray):
+    """The seed implementation of ``_mask_to_bounds`` (two ``flatnonzero``
+    passes over ``diff``), kept verbatim as the equivalence oracle for
+    the single-boundary-scan replacement."""
+    if mask.size == 0 or not mask.any():
+        return None, None
+    m = mask.view(np.int8) if mask.dtype == bool else mask.astype(np.int8)
+    d = np.diff(m)
+    starts = np.flatnonzero(d == 1).astype(np.int64) + 1
+    stops = np.flatnonzero(d == -1).astype(np.int64) + 1
+    if m[0]:
+        starts = np.concatenate(([0], starts))
+    if m[-1]:
+        stops = np.concatenate((stops, [m.size]))
+    return starts, stops
+
+
+#: Run-length encoded masks: chunky alternating runs exercise the
+#: boundary parity logic (who owns the even flip positions) far better
+#: than uniform random bits, which rarely produce long runs.
+rle_masks = st.lists(
+    st.tuples(st.booleans(), st.integers(1, 24)), max_size=24
+).map(
+    lambda runs: np.concatenate(
+        [np.full(n, v, dtype=bool) for v, n in runs]
+    ) if runs else np.zeros(0, dtype=bool)
+)
+
+bit_masks = st.lists(st.booleans(), max_size=256).map(
+    lambda bits: np.array(bits, dtype=bool)
+)
+
+
+@given(st.one_of(rle_masks, bit_masks))
+def test_mask_to_bounds_matches_seed_implementation(mask):
+    from repro.mem.pageset import _mask_to_bounds
+
+    new = _mask_to_bounds(mask.copy())
+    seed = _seed_mask_to_bounds(mask.copy())
+    if seed[0] is None:
+        assert new == (None, None)
+    else:
+        np.testing.assert_array_equal(new[0], seed[0])
+        np.testing.assert_array_equal(new[1], seed[1])
+
+
+@given(st.one_of(rle_masks, bit_masks))
+def test_from_mask_matches_flatnonzero(mask):
+    assert as_set(PageSet.from_mask(mask)) == set(
+        np.flatnonzero(mask).tolist()
+    )
