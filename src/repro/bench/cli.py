@@ -33,6 +33,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..serve.service import main_serve
 
         return main_serve(argv[1:])
+    if argv and argv[0] == "cluster":
+        from ..cluster.cli import main_cluster
+
+        return main_cluster(argv[1:])
     if argv and argv[0] == "submit":
         from ..serve.client import main_submit
 
@@ -52,10 +56,11 @@ def main(argv: list[str] | None = None) -> int:
         "simulated Grace Hopper testbed.",
         epilog="Subcommands: 'repro-bench run' (parallel + cached driver), "
         "'repro-bench serve' / 'submit' (concurrent what-if service and "
-        "its client), 'repro-bench cache' (result-cache stats and "
-        "invalidation), 'repro-bench verify' (golden-trace regression "
-        "gate), 'repro-bench trace' (event timelines -> Perfetto trace "
-        "JSON); see each one's --help.",
+        "its client), 'repro-bench cluster' (gateway + replica fleet and "
+        "the million-request traffic harness), 'repro-bench cache' "
+        "(result-cache stats and invalidation), 'repro-bench verify' "
+        "(golden-trace regression gate), 'repro-bench trace' (event "
+        "timelines -> Perfetto trace JSON); see each one's --help.",
     )
     parser.add_argument(
         "experiments",

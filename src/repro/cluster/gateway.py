@@ -1,0 +1,820 @@
+"""The cluster gateway: one front door for a replica fleet.
+
+Requests enter through the same admission semantics as a single
+:class:`~repro.serve.service.SimulationService` — a
+:class:`~repro.serve.queue.BoundedPriorityQueue` with capacity and
+per-class seat limits — plus two gateway-level shedding policies:
+
+* **shed batch before interactive** — once queue depth crosses
+  ``shed_batch_above × capacity``, batch submissions are rejected
+  (``load shed``) while interactive ones keep being admitted until the
+  queue is actually full;
+* **per-tenant quotas** — a tenant with ``tenant_quota`` jobs already
+  outstanding is rejected (``tenant quota exceeded``) regardless of
+  queue headroom, so one aggressive client cannot monopolise the fleet.
+
+Admitted requests are routed by consistent hash
+(:class:`~repro.cluster.ring.HashRing`) to one of N replica
+``SimulationService`` processes, behind a gateway-wide coalescing map
+(the same in-flight what-if submitted twice — even toward two different
+replicas across a remap window — runs exactly once) and the shared
+cache tier (:class:`~repro.cluster.shared_cache.SharedCacheTier`,
+read-through/write-back with per-replica accounting). A health loop
+pings every replica; a dead local replica is respawned and rejoins the
+ring under its old identity, so its keyspace slice maps back unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from ..bench.runner import ResultCache
+from ..profiling.counters import Histogram
+from ..serve.metrics import logger as serve_logger
+from ..serve.queue import (
+    REASON_UNKNOWN_EXPERIMENT,
+    AdmissionError,
+    BoundedPriorityQueue,
+    Job,
+    QueueClosed,
+)
+from .replicas import (
+    AsyncReplicaConnection,
+    LocalReplicaProcess,
+    Replica,
+    ReplicaUnavailable,
+)
+from .ring import HashRing
+from .shared_cache import SharedCacheTier
+
+logger = serve_logger.getChild("cluster")
+
+REASON_TENANT_QUOTA = "tenant quota exceeded"
+REASON_LOAD_SHED = "load shed"
+REASON_NO_REPLICAS = "no healthy replicas"
+
+
+def request_key(exp_id: str, kwargs: dict) -> str:
+    """Canonical routing/coalescing/cache key for one what-if."""
+    return exp_id + "|" + json.dumps(
+        kwargs, sort_keys=True, separators=(",", ":"), default=repr
+    )
+
+
+@dataclass
+class GatewayConfig:
+    """Tunables for one gateway instance."""
+
+    #: Local replicas to spawn (ignored when ``addresses`` is set).
+    replicas: int = 2
+    #: Pre-existing replica endpoints (``host:port``); mixed fleets are
+    #: allowed by listing addresses *and* setting ``replicas`` > 0.
+    addresses: tuple[str, ...] = ()
+    workers_per_replica: int = 2
+    replica_capacity: int = 64
+    #: Passed through to local replicas (``--runner``); None = registry.
+    runner_spec: str | None = None
+    #: Per-job timeout local replicas apply to their workers.
+    replica_timeout: float | None = None
+    capacity: int = 256
+    class_limits: dict[str, int] | None = None
+    #: Queue-depth fraction above which batch jobs are shed.
+    shed_batch_above: float = 0.75
+    #: Max outstanding (queued + forwarded) jobs per tenant.
+    tenant_quota: int | None = None
+    #: Concurrent forwards per replica (should not exceed the replica's
+    #: own queue capacity).
+    max_outstanding_per_replica: int = 8
+    #: Re-route attempts after a replica connection loss.
+    route_retries: int = 5
+    health_interval: float = 1.0
+    ping_timeout: float = 2.0
+    #: Disk tier under the shared cache (None = memory only).
+    cache: ResultCache | None = None
+    cache_max_entries: int = 65536
+    cache_max_bytes: int = 256 << 20
+    known_experiments: frozenset[str] | None = None
+    vnodes: int = 64
+    spawn_timeout: float = 60.0
+
+
+@dataclass
+class GatewayHandle:
+    """Client-side view of one gateway submission."""
+
+    job_id: str
+    exp_id: str
+    key: str
+    future: asyncio.Future = field(repr=False)
+    coalesced: bool = False
+    cached: bool = False
+
+    async def result(self, timeout: float | None = None) -> dict:
+        """The serialised result payload (rows/notes/columns)."""
+        return await asyncio.wait_for(asyncio.shield(self.future), timeout)
+
+    def done(self) -> bool:
+        return self.future.done()
+
+
+@dataclass
+class _GatewayJob(Job):
+    tenant: str = "anon"
+
+
+class GatewayMetrics:
+    """Lifecycle counters + per-class latency (p50/p99/p999)."""
+
+    def __init__(self):
+        self.started_at = time.monotonic()
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected: dict[str, int] = {}
+        self.coalesced = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.forwarded = 0
+        self.completed = 0
+        self.failed = 0
+        self.requeued = 0  # re-routed after a replica loss
+        self.latency: dict[str, Histogram] = {}
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def record_latency(self, job_class: str, seconds: float) -> None:
+        hist = self.latency.get(job_class)
+        if hist is None:
+            hist = self.latency[job_class] = Histogram()
+        hist.record(seconds)
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "jobs": {
+                "submitted": self.submitted,
+                "accepted": self.accepted,
+                "rejected": dict(self.rejected),
+                "rejected_total": self.rejected_total,
+                "coalesced": self.coalesced,
+                "forwarded": self.forwarded,
+                "completed": self.completed,
+                "failed": self.failed,
+                "requeued": self.requeued,
+            },
+            "cache_hits": {
+                "memory": self.memory_hits,
+                "disk": self.disk_hits,
+            },
+            "latency_s": {
+                cls: hist.snapshot()
+                for cls, hist in sorted(self.latency.items())
+            },
+        }
+
+
+class Gateway:
+    """Routes what-if requests across a health-checked replica fleet."""
+
+    def __init__(self, config: GatewayConfig | None = None, **overrides):
+        self.config = config or GatewayConfig(**overrides)
+        self.metrics = GatewayMetrics()
+        self.queue = BoundedPriorityQueue(
+            self.config.capacity, self.config.class_limits
+        )
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        self.cache = SharedCacheTier(
+            self.config.cache,
+            max_entries=self.config.cache_max_entries,
+            max_bytes=self.config.cache_max_bytes,
+        )
+        self.replicas: dict[str, Replica] = {}
+        self.inflight: dict[str, _GatewayJob] = {}
+        self.tenant_outstanding: dict[str, int] = {}
+        self._replica_slots: dict[str, asyncio.Semaphore] = {}
+        self._slots: asyncio.Semaphore | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._loop_task: asyncio.Task | None = None
+        self._health_task: asyncio.Task | None = None
+        self._membership_changed: asyncio.Event | None = None
+        self._next_id = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def __aenter__(self) -> "Gateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        cfg = self.config
+        self._membership_changed = asyncio.Event()
+        specs: list[tuple[str, str | None]] = [
+            (f"r{i}", None) for i in range(cfg.replicas)
+        ]
+        specs += [
+            (f"remote{i}", addr) for i, addr in enumerate(cfg.addresses)
+        ]
+        if not specs:
+            raise ValueError("gateway needs at least one replica")
+        await asyncio.gather(
+            *(self._bring_up(rid, addr) for rid, addr in specs)
+        )
+        if not self.ring.members:
+            raise RuntimeError("no replica came up")
+        total_slots = max(
+            1, cfg.max_outstanding_per_replica * len(self.replicas)
+        )
+        self._slots = asyncio.Semaphore(total_slots)
+        self._loop_task = asyncio.create_task(
+            self._dispatch_loop(), name="cluster-dispatch"
+        )
+        if cfg.health_interval:
+            self._health_task = asyncio.create_task(
+                self._health_loop(), name="cluster-health"
+            )
+        self._started = True
+        logger.info(
+            "gateway: started (%d replicas, capacity=%d, vnodes=%d)",
+            len(self.replicas), cfg.capacity, cfg.vnodes,
+        )
+
+    async def _bring_up(self, replica_id: str, address: str | None) -> None:
+        """Spawn (local) or dial (remote) one replica and ring it in."""
+        cfg = self.config
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            replica = self.replicas[replica_id] = Replica(replica_id)
+            self._replica_slots[replica_id] = asyncio.Semaphore(
+                cfg.max_outstanding_per_replica
+            )
+        try:
+            if address is None:
+                replica.spawn_kwargs = {
+                    "workers": cfg.workers_per_replica,
+                    "capacity": cfg.replica_capacity,
+                    "runner_spec": cfg.runner_spec,
+                    "timeout": cfg.replica_timeout,
+                    "spawn_timeout": cfg.spawn_timeout,
+                }
+                replica.proc = await asyncio.to_thread(
+                    LocalReplicaProcess, replica_id, **replica.spawn_kwargs
+                )
+                replica.host, replica.port = (
+                    replica.proc.host, replica.proc.port,
+                )
+            else:
+                host, _, port = address.partition(":")
+                replica.host, replica.port = host, int(port)
+            replica.conn = await AsyncReplicaConnection.open(
+                replica.host, replica.port
+            )
+        except Exception:
+            logger.exception("gateway: replica %s failed to come up",
+                             replica_id)
+            replica.healthy = False
+            return
+        replica.healthy = True
+        self.ring.add(replica_id)
+        self._membership_changed.set()
+        self._membership_changed = asyncio.Event()
+        logger.info("gateway: replica %s up at %s", replica_id,
+                    replica.address)
+
+    def _mark_unhealthy(self, replica: Replica) -> None:
+        if not replica.healthy:
+            return
+        replica.healthy = False
+        self.ring.remove(replica.replica_id)
+        logger.warning("gateway: replica %s removed from ring",
+                       replica.replica_id)
+        if replica.conn is not None:
+            conn = replica.conn
+            replica.conn = None
+            task = asyncio.create_task(conn.close())
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        # Event-driven recovery: start the respawn right away instead of
+        # waiting for the next health tick (the tick is the fallback for
+        # respawn attempts that themselves failed).
+        self._schedule_respawn(replica)
+
+    def _schedule_respawn(self, replica: Replica) -> None:
+        if replica.respawning:
+            return
+        replica.respawning = True
+        task = asyncio.create_task(
+            self._respawn_guard(replica),
+            name=f"cluster-respawn-{replica.replica_id}",
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _respawn_guard(self, replica: Replica) -> None:
+        try:
+            await self._respawn(replica)
+        finally:
+            replica.respawning = False
+
+    async def _health_loop(self) -> None:
+        cfg = self.config
+        while True:
+            await asyncio.sleep(cfg.health_interval)
+            for replica in list(self.replicas.values()):
+                if not replica.healthy:
+                    # A previous respawn attempt failed; try again.
+                    self._schedule_respawn(replica)
+                    continue
+                conn = replica.conn
+                dead = (
+                    (replica.proc is not None and not replica.proc.alive())
+                    or conn is None
+                    or conn.closed
+                )
+                if not dead:
+                    try:
+                        await conn.ping(cfg.ping_timeout)
+                    except (ReplicaUnavailable, asyncio.TimeoutError):
+                        dead = True
+                if dead:
+                    self._mark_unhealthy(replica)
+
+    async def _respawn(self, replica: Replica) -> None:
+        """Replace a dead local replica (new process, same identity) or
+        re-dial a remote one; either way it rejoins the ring under its
+        old id, so the keyspace maps back exactly as before."""
+        if replica.proc is not None:
+            await asyncio.to_thread(replica.proc.kill)
+            replica.proc = None
+        if replica.local:
+            replica.respawns += 1
+            await self._bring_up(replica.replica_id, None)
+        else:
+            await self._bring_up(replica.replica_id, replica.address)
+
+    async def kill_replica(self, replica_id: str) -> int:
+        """Fault injection: SIGKILL a local replica's process (the
+        health loop will respawn it). Returns the killed pid."""
+        replica = self.replicas[replica_id]
+        if replica.proc is None:
+            raise ValueError(f"{replica_id} is not a local replica")
+        pid = replica.proc.pid
+        await asyncio.to_thread(replica.proc.kill)
+        return pid
+
+    async def drain(self) -> None:
+        """Stop admitting; run every accepted job to completion."""
+        self.queue.close()
+        if self._loop_task is not None:
+            await self._loop_task
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        for replica in self.replicas.values():
+            if replica.conn is not None:
+                await replica.conn.close()
+                replica.conn = None
+        await asyncio.gather(
+            *(
+                asyncio.to_thread(replica.proc.terminate)
+                for replica in self.replicas.values()
+                if replica.proc is not None
+            ),
+            return_exceptions=True,
+        )
+        await asyncio.to_thread(self.cache.close)
+        self._started = False
+
+    async def shutdown(self) -> None:
+        await self.drain()
+        await self.stop()
+        logger.info("gateway: final %s",
+                    json.dumps(self.metrics.snapshot()["jobs"]))
+
+    # ------------------------------------------------------------------
+    # Submission path
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        exp_id: str,
+        kwargs: dict | None = None,
+        *,
+        job_class: str = "batch",
+        tenant: str = "anon",
+    ) -> GatewayHandle:
+        """Admit one request; raises :class:`AdmissionError` when shed.
+
+        Order of the cheap outcomes: coalesce onto an identical
+        in-flight job, answer from the shared memory cache, then apply
+        quota/shedding/queue admission. Disk read-through happens after
+        dispatch (off the event loop)."""
+        assert self._started, "call await gateway.start() first"
+        cfg = self.config
+        kwargs = dict(kwargs or {})
+        self.metrics.submitted += 1
+        if (
+            cfg.known_experiments is not None
+            and exp_id not in cfg.known_experiments
+        ):
+            self.metrics.reject(REASON_UNKNOWN_EXPERIMENT)
+            raise AdmissionError(REASON_UNKNOWN_EXPERIMENT, exp_id)
+        key = request_key(exp_id, kwargs)
+
+        inflight = self.inflight.get(key)
+        if inflight is not None:
+            inflight.waiters += 1
+            self.metrics.coalesced += 1
+            return GatewayHandle(
+                inflight.job_id, exp_id, key, inflight.future,
+                coalesced=True,
+            )
+
+        owner = self._owner_for(key)
+        payload = self.cache.get_memory(key, owner)
+        if payload is not None:
+            self.metrics.memory_hits += 1
+            future = asyncio.get_running_loop().create_future()
+            future.set_result(payload)
+            return GatewayHandle("cached", exp_id, key, future, cached=True)
+
+        if cfg.tenant_quota is not None:
+            outstanding = self.tenant_outstanding.get(tenant, 0)
+            if outstanding >= cfg.tenant_quota:
+                self.metrics.reject(REASON_TENANT_QUOTA)
+                raise AdmissionError(
+                    REASON_TENANT_QUOTA,
+                    f"{tenant}: {outstanding}/{cfg.tenant_quota} outstanding",
+                )
+        if (
+            job_class == "batch"
+            and self.queue.depth()
+            >= cfg.shed_batch_above * cfg.capacity
+        ):
+            self.metrics.reject(REASON_LOAD_SHED)
+            raise AdmissionError(
+                REASON_LOAD_SHED,
+                f"queue {self.queue.depth()}/{cfg.capacity}, batch shed "
+                f"above {cfg.shed_batch_above:.0%}",
+            )
+
+        self._next_id += 1
+        job = _GatewayJob(
+            exp_id=exp_id,
+            kwargs=kwargs,
+            key=key,
+            job_class=job_class,
+            job_id=f"gw-{self._next_id}",
+            future=asyncio.get_running_loop().create_future(),
+            tenant=tenant,
+        )
+        try:
+            self.queue.put_nowait(job)
+        except AdmissionError as exc:
+            self.metrics.reject(exc.reason)
+            raise
+        self.metrics.accepted += 1
+        self.inflight[key] = job
+        self.tenant_outstanding[tenant] = (
+            self.tenant_outstanding.get(tenant, 0) + 1
+        )
+        return GatewayHandle(job.job_id, exp_id, key, job.future)
+
+    def _owner_for(self, key: str) -> str:
+        try:
+            return self.ring.lookup(key)
+        except LookupError:
+            return "?"  # empty ring: cache accounting parks on '?'
+
+    # ------------------------------------------------------------------
+    # Dispatch / forward
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                job = await self.queue.get()
+            except QueueClosed:
+                break
+            await self._slots.acquire()
+            task = asyncio.create_task(
+                self._forward_guard(job), name=f"cluster-{job.job_id}"
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._on_forward_done)
+
+    def _on_forward_done(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        self._slots.release()
+        if not task.cancelled() and task.exception() is not None:
+            logger.error("cluster forward task died: %r", task.exception())
+
+    async def _forward_guard(self, job: _GatewayJob) -> None:
+        try:
+            await self._forward(job)
+        except Exception as exc:  # noqa: BLE001 — never lose a waiter
+            self._fail(job, exc)
+            raise
+
+    async def _forward(self, job: _GatewayJob) -> None:
+        cfg = self.config
+        job.started_at = time.monotonic()
+        missed = False
+        for attempt in range(cfg.route_retries + 1):
+            replica = await self._route(job.key, attempt)
+            if replica is None:
+                continue
+            async with self._replica_slots[replica.replica_id]:
+                conn = replica.conn  # pin: _mark_unhealthy clears the attr
+                if not replica.healthy or conn is None:
+                    continue  # lost it while waiting for the slot
+                if attempt == 0 and self.cache.disk is not None:
+                    payload = await asyncio.to_thread(
+                        self.cache.get_disk, job.key, job.exp_id,
+                        job.kwargs, replica.replica_id,
+                    )
+                    if payload is not None:
+                        self.metrics.disk_hits += 1
+                        self._resolve(job, payload)
+                        return
+                if not missed:
+                    self.cache.miss(replica.replica_id)
+                    missed = True
+                replica.forwarded += 1
+                self.metrics.forwarded += 1
+                try:
+                    reply = await conn.request({
+                        "op": "submit",
+                        "exp_id": job.exp_id,
+                        "kwargs": job.kwargs,
+                        "job_class": job.job_class,
+                        "wait": True,
+                    })
+                except ReplicaUnavailable:
+                    replica.errors += 1
+                    self.metrics.requeued += 1
+                    self._mark_unhealthy(replica)
+                    continue
+            if reply.get("rejected"):
+                # Replica-side admission pressure: brief backoff, retry.
+                replica.errors += 1
+                self.metrics.requeued += 1
+                await asyncio.sleep(0.05 * (attempt + 1))
+                continue
+            if not reply.get("ok"):
+                replica.errors += 1
+                self._fail(
+                    job,
+                    RuntimeError(reply.get("error", "replica failure")),
+                )
+                return
+            payload = reply.get("result")
+            replica.completed += 1
+            if payload is not None:
+                self.cache.put(
+                    job.key, payload, job.exp_id, job.kwargs,
+                    replica.replica_id,
+                )
+            self._resolve(job, payload)
+            return
+        self._fail(
+            job,
+            AdmissionError(
+                REASON_NO_REPLICAS,
+                f"{job.exp_id} after {cfg.route_retries + 1} attempts",
+            ),
+        )
+
+    async def _route(self, key: str, attempt: int) -> Replica | None:
+        """Ring lookup, with a bounded wait for membership to recover
+        when the ring is empty or points at a replica mid-respawn."""
+        try:
+            rid = self.ring.lookup(key)
+        except LookupError:
+            rid = None
+        replica = self.replicas.get(rid) if rid is not None else None
+        if replica is not None and replica.healthy and replica.conn is not None:
+            return replica
+        event = self._membership_changed
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(event.wait(), 0.25 * (attempt + 1))
+        return None
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _settle(self, job: _GatewayJob) -> None:
+        self.inflight.pop(job.key, None)
+        left = self.tenant_outstanding.get(job.tenant, 1) - 1
+        if left <= 0:
+            self.tenant_outstanding.pop(job.tenant, None)
+        else:
+            self.tenant_outstanding[job.tenant] = left
+
+    def _resolve(self, job: _GatewayJob, payload) -> None:
+        self._settle(job)
+        self.metrics.completed += 1
+        self.metrics.record_latency(
+            job.job_class, time.monotonic() - job.submitted_at
+        )
+        if not job.future.done():
+            job.future.set_result(payload)
+
+    def _fail(self, job: _GatewayJob, exc: Exception) -> None:
+        self._settle(job)
+        self.metrics.failed += 1
+        self.metrics.record_latency(
+            job.job_class, time.monotonic() - job.submitted_at
+        )
+        if not job.future.done():
+            job.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["queue"] = {
+            "depth": self.queue.depth(),
+            "by_class": self.queue.depth_by_class(),
+        }
+        snap["in_flight"] = len(self.inflight)
+        snap["tenants"] = dict(sorted(self.tenant_outstanding.items()))
+        snap["ring"] = sorted(self.ring.members)
+        snap["replicas"] = {
+            rid: replica.snapshot()
+            for rid, replica in sorted(self.replicas.items())
+        }
+        snap["respawns"] = sum(
+            r.respawns for r in self.replicas.values()
+        )
+        snap["shared_cache"] = self.cache.snapshot()
+        return snap
+
+    async def replica_metrics(self) -> dict[str, dict]:
+        """Fetch each healthy replica's own ``metrics`` snapshot (e.g.
+        per-replica ``jobs.executed`` for exactly-once verification)."""
+        out: dict[str, dict] = {}
+        for rid, replica in sorted(self.replicas.items()):
+            if replica.conn is None or replica.conn.closed:
+                continue
+            with contextlib.suppress(
+                ReplicaUnavailable, asyncio.TimeoutError
+            ):
+                out[rid] = await replica.conn.metrics()
+        return out
+
+
+# ----------------------------------------------------------------------
+# TCP front (same JSON-lines protocol as ``repro-bench serve``)
+# ----------------------------------------------------------------------
+
+
+async def _handle_gateway_request(gateway: Gateway, request: dict) -> dict:
+    op = request.get("op")
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "metrics":
+        return {"ok": True, "metrics": gateway.metrics_snapshot()}
+    if op == "cluster":
+        snap = gateway.metrics_snapshot()
+        replicas = await gateway.replica_metrics()
+        return {
+            "ok": True,
+            "ring": snap["ring"],
+            "replicas": snap["replicas"],
+            "replica_metrics": replicas,
+            "shared_cache": snap["shared_cache"],
+        }
+    if op == "submit":
+        try:
+            handle = gateway.submit(
+                request["exp_id"],
+                request.get("kwargs") or {},
+                job_class=request.get("job_class", "batch"),
+                tenant=request.get("tenant", "anon"),
+            )
+        except AdmissionError as exc:
+            return {
+                "ok": False,
+                "rejected": True,
+                "reason": exc.reason,
+                "detail": exc.detail,
+            }
+        except KeyError as exc:
+            return {"ok": False, "error": f"missing field {exc}"}
+        response = {
+            "ok": True,
+            "job_id": handle.job_id,
+            "coalesced": handle.coalesced,
+            "cached": handle.cached,
+        }
+        if request.get("wait", True):
+            try:
+                result = await handle.result(request.get("wait_timeout"))
+            except asyncio.TimeoutError:
+                return {**response, "ok": False, "error": "wait timed out"}
+            except Exception as exc:  # noqa: BLE001 — report job failure
+                return {**response, "ok": False, "error": str(exc)}
+            response["result"] = result
+        return response
+    return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+async def serve_gateway_tcp(
+    gateway: Gateway,
+    host: str = "127.0.0.1",
+    port: int = 8640,
+    on_ready=None,
+) -> None:
+    """Serve the gateway until a ``shutdown`` op; drains the fleet
+    first. Protocol-compatible with :class:`~repro.serve.ServeClient`
+    (ops ``ping``/``metrics``/``submit``), plus a ``cluster`` op for
+    fleet status, and the same ``id``-pipelining as the replicas."""
+    done = asyncio.Event()
+
+    async def on_connection(reader, writer):
+        write_lock = asyncio.Lock()
+        pipelined: set[asyncio.Task] = set()
+
+        async def send(response: dict) -> None:
+            async with write_lock:
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+
+        async def respond(request: dict) -> None:
+            response = await _handle_gateway_request(gateway, request)
+            response["id"] = request["id"]
+            with contextlib.suppress(ConnectionError, OSError):
+                await send(response)
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = {"ok": False, "error": f"bad json: {exc}"}
+                else:
+                    if request.get("op") == "shutdown":
+                        done.set()
+                        response = {"ok": True, "op": "shutdown"}
+                    elif request.get("id") is not None:
+                        task = asyncio.create_task(respond(request))
+                        pipelined.add(task)
+                        task.add_done_callback(pipelined.discard)
+                        continue
+                    else:
+                        response = await _handle_gateway_request(
+                            gateway, request
+                        )
+                await send(response)
+                if done.is_set():
+                    break
+        finally:
+            for task in pipelined:
+                task.cancel()
+            if pipelined:
+                await asyncio.gather(*pipelined, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    server = await asyncio.start_server(on_connection, host, port)
+    addr = server.sockets[0].getsockname()
+    logger.info("gateway: listening on %s:%s", addr[0], addr[1])
+    print(f"repro-cluster gateway listening on {addr[0]}:{addr[1]}",
+          flush=True)
+    if on_ready is not None:
+        on_ready(addr[0], addr[1])
+    try:
+        await done.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        await gateway.shutdown()

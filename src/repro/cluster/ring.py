@@ -1,0 +1,86 @@
+"""Consistent-hash ring for gateway → replica routing.
+
+Every replica owns ``vnodes`` points on a 2^64 ring (SHA-1 of
+``"replica-id#vnode"``), and a key routes to the owner of the first
+point at or after the key's own hash. Removing a replica therefore
+remaps only the keys that landed on its points (~1/N of the keyspace),
+and re-adding the *same* replica id restores the exact pre-departure
+mapping — which is what lets a health-checked respawn rejoin without
+reshuffling the fleet's cache ownership.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+
+def ring_hash(value: str) -> int:
+    """Stable 64-bit position on the ring (process-independent)."""
+    return int.from_bytes(
+        hashlib.sha1(value.encode()).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes."""
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[int] = []  # sorted ring positions
+        self._owner: dict[int, str] = {}  # position -> replica id
+        self._members: set[str] = set()
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> frozenset[str]:
+        return frozenset(self._members)
+
+    def _member_points(self, member: str) -> list[int]:
+        return [ring_hash(f"{member}#{i}") for i in range(self.vnodes)]
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        for point in self._member_points(member):
+            # SHA-1 collisions across distinct ids are not a practical
+            # concern; last add wins deterministically if one occurs.
+            self._owner[point] = member
+            bisect.insort(self._points, point)
+        self._members.add(member)
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        drop = {
+            p for p in self._member_points(member)
+            if self._owner.get(p) == member
+        }
+        self._points = [p for p in self._points if p not in drop]
+        for point in drop:
+            del self._owner[point]
+        self._members.discard(member)
+
+    def lookup(self, key: str) -> str:
+        """Owner of ``key``; raises :class:`LookupError` on an empty
+        ring."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        idx = bisect.bisect_right(self._points, ring_hash(key))
+        if idx == len(self._points):
+            idx = 0  # wrap past the highest point
+        return self._owner[self._points[idx]]
+
+    def mapping(self, keys: Iterable[str]) -> dict[str, str]:
+        """Key → owner for a batch of keys (test/diagnostic helper)."""
+        return {key: self.lookup(key) for key in keys}

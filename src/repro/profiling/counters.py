@@ -81,6 +81,7 @@ class Histogram:
             "p50": round(self.percentile(50), 6),
             "p90": round(self.percentile(90), 6),
             "p99": round(self.percentile(99), 6),
+            "p999": round(self.percentile(99.9), 6),
         }
 
     def __repr__(self) -> str:

@@ -12,8 +12,21 @@ import socket
 import time
 
 
+#: Ops safe to replay blind on a fresh connection: pure reads, plus
+#: ``submit`` — simulations are deterministic and cache-keyed, so a
+#: resubmitted job either coalesces, hits the cache, or recomputes the
+#: identical result.
+IDEMPOTENT_OPS = frozenset({"ping", "metrics", "submit"})
+
+
 class ServeClient:
-    """One connection to a running simulation service."""
+    """One connection to a running simulation service.
+
+    A dropped connection mid-session (a replica killed and respawned by
+    the cluster gateway, a server restart) is invisible for idempotent
+    payloads: :meth:`request` redials with exponential backoff and
+    replays the op up to ``reconnects`` times before giving up.
+    """
 
     def __init__(
         self,
@@ -21,13 +34,24 @@ class ServeClient:
         port: int = 8642,
         *,
         connect_timeout: float = 5.0,
+        reconnects: int = 2,
+        reconnect_backoff: float = 0.2,
     ):
         self.host = host
         self.port = port
+        self.connect_timeout = connect_timeout
+        self.max_reconnects = reconnects
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnects = 0  # successful redials, for observability
+        self._connect(connect_timeout)
+
+    def _connect(self, connect_timeout: float) -> None:
         deadline = time.monotonic() + connect_timeout
         while True:
             try:
-                self._sock = socket.create_connection((host, port), timeout=5.0)
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=5.0
+                )
                 break
             except OSError:
                 if time.monotonic() >= deadline:
@@ -41,8 +65,36 @@ class ServeClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def request(self, payload: dict, timeout: float | None = None) -> dict:
-        """Send one op and block for its reply line."""
+    def request(
+        self,
+        payload: dict,
+        timeout: float | None = None,
+        *,
+        idempotent: bool | None = None,
+    ) -> dict:
+        """Send one op and block for its reply line.
+
+        ``idempotent`` overrides the per-op default
+        (:data:`IDEMPOTENT_OPS`); non-idempotent payloads fail fast on a
+        dropped connection instead of replaying."""
+        if idempotent is None:
+            idempotent = payload.get("op") in IDEMPOTENT_OPS
+        retries = self.max_reconnects if idempotent else 0
+        backoff = self.reconnect_backoff
+        for attempt in range(retries + 1):
+            try:
+                return self._request_once(payload, timeout)
+            except (ConnectionError, OSError):
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff)
+                backoff *= 2
+                self.close()
+                self._connect(self.connect_timeout)
+                self.reconnects += 1
+        raise AssertionError("unreachable")
+
+    def _request_once(self, payload: dict, timeout: float | None) -> dict:
         self._sock.settimeout(timeout)
         self._file.write(json.dumps(payload).encode() + b"\n")
         self._file.flush()

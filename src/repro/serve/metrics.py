@@ -139,6 +139,7 @@ class ServiceMetrics:
                 "worker_restarts": snap["workers"]["restarts"],
                 "p50_total_s": snap["latency_s"]["total"]["p50"],
                 "p99_total_s": snap["latency_s"]["total"]["p99"],
+                "p999_total_s": snap["latency_s"]["total"]["p999"],
             },
             sort_keys=True,
         )

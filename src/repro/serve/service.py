@@ -316,6 +316,25 @@ async def serve_tcp(
     done = asyncio.Event()
 
     async def on_connection(reader, writer):
+        # Requests carrying an ``id`` are answered concurrently (the
+        # reply echoes the id, and ordering is no longer guaranteed), so
+        # one connection can pipeline many in-flight submits — the
+        # cluster gateway's replica links depend on this. Requests
+        # without an id keep the original strict request/reply order.
+        write_lock = asyncio.Lock()
+        pipelined: set[asyncio.Task] = set()
+
+        async def send(response: dict) -> None:
+            async with write_lock:
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+
+        async def respond(request: dict) -> None:
+            response = await _handle_request(service, request)
+            response["id"] = request["id"]
+            with contextlib.suppress(ConnectionError, OSError):
+                await send(response)
+
         try:
             while True:
                 line = await reader.readline()
@@ -329,13 +348,21 @@ async def serve_tcp(
                     if request.get("op") == "shutdown":
                         done.set()
                         response = {"ok": True, "op": "shutdown"}
+                    elif request.get("id") is not None:
+                        task = asyncio.create_task(respond(request))
+                        pipelined.add(task)
+                        task.add_done_callback(pipelined.discard)
+                        continue
                     else:
                         response = await _handle_request(service, request)
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
+                await send(response)
                 if done.is_set():
                     break
         finally:
+            for task in pipelined:
+                task.cancel()
+            if pipelined:
+                await asyncio.gather(*pipelined, return_exceptions=True)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
@@ -393,6 +420,12 @@ def main_serve(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", metavar="DIR")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument(
+        "--runner", metavar="MODULE:FUNCTION", default=None,
+        help="custom job-body spec resolved in the workers (default: run "
+        "a registry experiment); implies accepting any exp_id, since the "
+        "runner owns the namespace",
+    )
+    parser.add_argument(
         "--metrics-interval", type=float, default=10.0,
         help="seconds between structured metrics log lines (0 disables)",
     )
@@ -424,8 +457,11 @@ def main_serve(argv: list[str] | None = None) -> int:
         class_limits=class_limits or None,
         default_timeout=args.timeout,
         default_retries=args.retries,
+        runner_spec=args.runner or DEFAULT_RUNNER,
         cache=None if args.no_cache else ResultCache(args.cache_dir),
-        known_experiments=frozenset(experiment_ids()),
+        known_experiments=(
+            None if args.runner else frozenset(experiment_ids())
+        ),
         metrics_interval=args.metrics_interval,
         timeline=timeline,
     )

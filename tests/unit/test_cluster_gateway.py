@@ -1,0 +1,365 @@
+"""Gateway semantics without real subprocesses.
+
+A fake fleet stands in for replica processes and their sockets (patched
+into :mod:`repro.cluster.gateway`), so coalescing, shedding, tenant
+quotas, shared-cache accounting, and remap-window recovery are exercised
+deterministically and fast. Execution counts are tracked per request
+key, which is what makes "exactly once" assertable even while a replica
+dies and respawns mid-request."""
+
+import asyncio
+import itertools
+
+import pytest
+
+import repro.cluster.gateway as gateway_mod
+from repro.bench.harness import ExperimentResult
+from repro.bench.runner import ResultCache, _serialize
+from repro.cluster import (
+    REASON_LOAD_SHED,
+    REASON_TENANT_QUOTA,
+    Gateway,
+    GatewayConfig,
+    ReplicaUnavailable,
+    SharedCacheTier,
+    request_key,
+)
+from repro.serve.queue import (
+    REASON_QUEUE_FULL,
+    REASON_UNKNOWN_EXPERIMENT,
+    AdmissionError,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeFleet:
+    """In-process stand-in for replica subprocesses + connections."""
+
+    def __init__(self):
+        self._ports = itertools.count(9100)
+        self.by_port: dict[int, str] = {}
+        self.executed: dict[str, int] = {}  # request key -> executions
+        self.by_replica: dict[str, int] = {}
+        self.fail_next: dict[str, int] = {}  # name -> requests to drop
+        self.gate: asyncio.Event | None = None  # holds submits when set
+
+    def make_proc(self, fleet):
+        class FakeProc:
+            def __init__(self, name, **kwargs):
+                self.name = name
+                self.host = "127.0.0.1"
+                self.port = next(fleet._ports)
+                fleet.by_port[self.port] = name
+                self.pid = 40000 + self.port
+                self._alive = True
+
+            def alive(self):
+                return self._alive
+
+            def kill(self):
+                self._alive = False
+
+            def terminate(self, timeout=10.0):
+                self._alive = False
+
+        return FakeProc
+
+    def make_conn(self, fleet):
+        class FakeConn:
+            def __init__(self, name):
+                self.name = name
+                self.closed = False
+                self.in_flight = 0
+
+            @classmethod
+            async def open(cls, host, port, timeout=5.0):
+                return cls(fleet.by_port[port])
+
+            async def request(self, payload, timeout=None):
+                if self.closed:
+                    raise ReplicaUnavailable("connection closed")
+                if fleet.fail_next.get(self.name, 0) > 0:
+                    fleet.fail_next[self.name] -= 1
+                    self.closed = True
+                    raise ReplicaUnavailable("injected connection loss")
+                op = payload.get("op")
+                if op == "ping":
+                    return {"ok": True}
+                if op == "metrics":
+                    return {
+                        "jobs": {
+                            "executed": fleet.by_replica.get(self.name, 0)
+                        }
+                    }
+                assert op == "submit"
+                if fleet.gate is not None:
+                    await fleet.gate.wait()
+                key = request_key(payload["exp_id"], payload["kwargs"])
+                fleet.executed[key] = fleet.executed.get(key, 0) + 1
+                fleet.by_replica[self.name] = (
+                    fleet.by_replica.get(self.name, 0) + 1
+                )
+                return {
+                    "ok": True,
+                    "result": {"served_by": self.name, "key": key},
+                }
+
+            async def ping(self, timeout=2.0):
+                reply = await self.request({"op": "ping"}, timeout)
+                return bool(reply.get("ok"))
+
+            async def metrics(self, timeout=10.0):
+                return await self.request({"op": "metrics"}, timeout)
+
+            async def close(self):
+                self.closed = True
+
+        return FakeConn
+
+
+@pytest.fixture
+def fleet(monkeypatch):
+    fleet = FakeFleet()
+    monkeypatch.setattr(
+        gateway_mod, "LocalReplicaProcess", fleet.make_proc(fleet)
+    )
+    monkeypatch.setattr(
+        gateway_mod, "AsyncReplicaConnection", fleet.make_conn(fleet)
+    )
+    return fleet
+
+
+def make_gateway(**overrides) -> Gateway:
+    defaults = dict(replicas=2, health_interval=0.0, cache=None)
+    defaults.update(overrides)
+    return Gateway(GatewayConfig(**defaults))
+
+
+def kwargs_owned_by(gateway: Gateway, replica_id: str, exp_id="exp") -> dict:
+    for i in range(10_000):
+        kwargs = {"i": i}
+        if gateway.ring.lookup(request_key(exp_id, kwargs)) == replica_id:
+            return kwargs
+    raise AssertionError(f"no key routed to {replica_id}")
+
+
+def test_basic_forward_and_result(fleet):
+    async def body():
+        async with make_gateway() as gw:
+            handle = gw.submit("exp", {"i": 1})
+            payload = await handle.result(5)
+            assert payload["key"] == request_key("exp", {"i": 1})
+            assert fleet.executed[handle.key] == 1
+            snap = gw.metrics_snapshot()
+            assert snap["jobs"]["completed"] == 1
+            assert snap["jobs"]["failed"] == 0
+
+    run(body())
+
+
+def test_coalescing_is_exactly_once(fleet):
+    async def body():
+        async with make_gateway(replicas=1) as gw:
+            fleet.gate = asyncio.Event()
+            first = gw.submit("exp", {"i": 7})
+            dupes = [gw.submit("exp", {"i": 7}) for _ in range(5)]
+            assert all(h.coalesced for h in dupes)
+            assert all(h.future is first.future for h in dupes)
+            fleet.gate.set()
+            results = await asyncio.gather(
+                first.result(5), *(h.result(5) for h in dupes)
+            )
+            assert all(r == results[0] for r in results)
+            assert fleet.executed[first.key] == 1
+            assert gw.metrics.coalesced == 5
+
+    run(body())
+
+
+def test_coalescing_exactly_once_across_remap_window(fleet):
+    """A replica dies mid-request; duplicates submitted while the job is
+    re-routing (the remap window) still coalesce, the key executes once
+    on the surviving replica, and the dead one rejoins the ring."""
+
+    async def body():
+        async with make_gateway(replicas=2) as gw:
+            mapping_before = {
+                f"k{i}": gw.ring.lookup(f"k{i}") for i in range(200)
+            }
+            kwargs = kwargs_owned_by(gw, "r0")
+            fleet.fail_next["r0"] = 1  # first forward dies on the wire
+            fleet.gate = asyncio.Event()  # retry blocks inside submit
+            first = gw.submit("exp", kwargs)
+            # Wait for the connection loss to be detected and re-routed.
+            for _ in range(200):
+                if gw.metrics.requeued >= 1:
+                    break
+                await asyncio.sleep(0.01)
+            assert gw.metrics.requeued >= 1
+            dupe = gw.submit("exp", kwargs)  # inside the remap window
+            assert dupe.coalesced
+            fleet.gate.set()
+            r1, r2 = await asyncio.gather(first.result(5), dupe.result(5))
+            assert r1 == r2
+            assert fleet.executed[first.key] == 1
+            # Event-driven respawn: r0 rejoins under its old identity and
+            # the ring mapping is restored exactly.
+            for _ in range(200):
+                if gw.replicas["r0"].healthy:
+                    break
+                await asyncio.sleep(0.01)
+            assert gw.replicas["r0"].healthy
+            assert gw.replicas["r0"].respawns == 1
+            assert gw.ring.members == frozenset({"r0", "r1"})
+            assert {
+                f"k{i}": gw.ring.lookup(f"k{i}") for i in range(200)
+            } == mapping_before
+
+    run(body())
+
+
+def test_shed_batch_before_interactive(fleet):
+    async def body():
+        async with make_gateway(
+            replicas=1, capacity=8, shed_batch_above=0.5,
+            max_outstanding_per_replica=1,
+        ) as gw:
+            fleet.gate = asyncio.Event()  # nothing completes yet
+            for i in range(4):  # queue depth reaches the watermark
+                gw.submit("exp", {"i": i}, job_class="batch")
+            with pytest.raises(AdmissionError) as exc:
+                gw.submit("exp", {"i": 99}, job_class="batch")
+            assert exc.value.reason == REASON_LOAD_SHED
+            # Interactive traffic is still admitted above the watermark…
+            handles = [
+                gw.submit("exp", {"j": i}, job_class="interactive")
+                for i in range(4)
+            ]
+            # …until the queue is genuinely full.
+            with pytest.raises(AdmissionError) as exc:
+                gw.submit("exp", {"j": 99}, job_class="interactive")
+            assert exc.value.reason == REASON_QUEUE_FULL
+            assert gw.metrics.rejected[REASON_LOAD_SHED] == 1
+            fleet.gate.set()
+            await asyncio.gather(*(h.result(10) for h in handles))
+
+    run(body())
+
+
+def test_tenant_quota(fleet):
+    async def body():
+        async with make_gateway(replicas=1, tenant_quota=2) as gw:
+            fleet.gate = asyncio.Event()
+            handles = [
+                gw.submit("exp", {"i": i}, tenant="greedy") for i in range(2)
+            ]
+            with pytest.raises(AdmissionError) as exc:
+                gw.submit("exp", {"i": 99}, tenant="greedy")
+            assert exc.value.reason == REASON_TENANT_QUOTA
+            # Other tenants are unaffected.
+            handles.append(gw.submit("exp", {"i": 99}, tenant="polite"))
+            fleet.gate.set()
+            await asyncio.gather(*(h.result(5) for h in handles))
+            # Outstanding counts settle back to zero -> quota frees up.
+            assert gw.tenant_outstanding == {}
+            gw.submit("exp", {"i": 123}, tenant="greedy")
+
+    run(body())
+
+
+def test_unknown_experiment_rejected(fleet):
+    async def body():
+        async with make_gateway(
+            replicas=1, known_experiments=frozenset({"known"})
+        ) as gw:
+            with pytest.raises(AdmissionError) as exc:
+                gw.submit("mystery", {})
+            assert exc.value.reason == REASON_UNKNOWN_EXPERIMENT
+
+    run(body())
+
+
+def test_memory_cache_hit_and_per_replica_accounting(fleet):
+    async def body():
+        async with make_gateway(replicas=1) as gw:
+            first = gw.submit("exp", {"i": 5})
+            await first.result(5)
+            again = gw.submit("exp", {"i": 5})
+            assert again.cached and again.done()
+            assert await again.result(1) == await first.result(1)
+            assert gw.metrics.memory_hits == 1
+            account = gw.metrics_snapshot()["shared_cache"]["per_replica"][
+                "r0"
+            ]
+            assert account["misses"] == 1  # the original forward
+            assert account["stores"] == 1  # its write-back
+            assert account["hits"] == 1  # the repeat
+            assert account["bytes_served"] > 0
+            assert fleet.executed[first.key] == 1  # cache, not recompute
+
+    run(body())
+
+
+def test_gateway_metrics_snapshot_shape(fleet):
+    async def body():
+        async with make_gateway() as gw:
+            await gw.submit("exp", {"i": 3}).result(5)
+            snap = gw.metrics_snapshot()
+            assert snap["ring"] == ["r0", "r1"]
+            assert set(snap["replicas"]) == {"r0", "r1"}
+            assert snap["respawns"] == 0
+            hist = snap["latency_s"]["batch"]
+            assert {"p50", "p99", "p999"} <= set(hist)
+            metrics = await gw.replica_metrics()
+            assert set(metrics) == {"r0", "r1"}
+            executed = sum(
+                m["jobs"]["executed"] for m in metrics.values()
+            )
+            assert executed == 1
+
+    run(body())
+
+
+# ----------------------------------------------------------------------
+# SharedCacheTier on its own (real disk tier, no gateway)
+# ----------------------------------------------------------------------
+
+
+def _payload(exp_id: str, i: int) -> dict:
+    return _serialize(
+        ExperimentResult(exp_id, f"test {i}", rows=[{"i": i}])
+    )
+
+
+def test_shared_cache_lru_eviction():
+    tier = SharedCacheTier(None, max_entries=2)
+    for i in range(3):
+        tier.put(f"k{i}", _payload("exp", i), "exp", {"i": i}, "r0")
+    assert tier.entries == 2
+    assert tier.evictions == 1
+    assert tier.get_memory("k0", "r0") is None  # oldest got evicted
+    assert tier.get_memory("k2", "r0") is not None
+
+
+def test_shared_cache_write_back_and_read_through(tmp_path):
+    disk = ResultCache(tmp_path / "cache")
+    tier = SharedCacheTier(disk)
+    payload = _payload("fig3", 1)
+    tier.put("key1", payload, "fig3", {"scale": 0.1}, "r0")
+    tier.close()  # flushes the write-back queue
+
+    # A fresh gateway (cold memory) warm-starts from the disk tier.
+    tier2 = SharedCacheTier(disk)
+    assert tier2.get_memory("key1", "r1") is None
+    via_disk = tier2.get_disk("key1", "fig3", {"scale": 0.1}, "r1")
+    assert via_disk is not None
+    assert via_disk["rows"] == payload["rows"]
+    # Promotion: now it is a memory hit, and accounting says disk once.
+    assert tier2.get_memory("key1", "r1") is not None
+    account = tier2.accounts["r1"]
+    assert account.disk_hits == 1
+    assert account.hits == 2
+    tier2.close()

@@ -1,0 +1,86 @@
+"""Hash-ring behaviour: determinism, balance, minimal remap on death,
+and exact mapping restoration when a respawned replica rejoins under
+its old identity (the property gateway recovery leans on)."""
+
+import pytest
+
+from repro.cluster import HashRing, ring_hash
+
+KEYS = [f"key-{i}" for i in range(5000)]
+
+
+def test_ring_hash_is_stable_and_64bit():
+    assert ring_hash("abc") == ring_hash("abc")
+    assert ring_hash("abc") != ring_hash("abd")
+    assert 0 <= ring_hash("abc") < 2**64
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    assert len(ring) == 0
+    with pytest.raises(LookupError):
+        ring.lookup("anything")
+
+
+def test_lookup_is_deterministic_across_instances():
+    a = HashRing(["r0", "r1", "r2"])
+    b = HashRing(["r2", "r0", "r1"])  # insertion order must not matter
+    assert a.mapping(KEYS) == b.mapping(KEYS)
+
+
+def test_membership_protocol():
+    ring = HashRing(["r0", "r1"])
+    assert "r0" in ring and "r2" not in ring
+    assert ring.members == frozenset({"r0", "r1"})
+    ring.add("r0")  # idempotent
+    assert len(ring) == 2
+    ring.remove("r2")  # unknown member is a no-op
+    assert len(ring) == 2
+
+
+def test_balance_with_vnodes():
+    members = [f"r{i}" for i in range(4)]
+    ring = HashRing(members, vnodes=64)
+    counts = {m: 0 for m in members}
+    for owner in ring.mapping(KEYS).values():
+        counts[owner] += 1
+    for member, count in counts.items():
+        share = count / len(KEYS)
+        assert 0.10 < share < 0.45, f"{member} owns {share:.1%}"
+
+
+def test_minimal_remap_on_death():
+    """Removing one of N members remaps only the keys it owned."""
+    members = [f"r{i}" for i in range(4)]
+    ring = HashRing(members)
+    before = ring.mapping(KEYS)
+    ring.remove("r1")
+    after = ring.mapping(KEYS)
+    moved = [k for k in KEYS if before[k] != after[k]]
+    # Every key that moved belonged to the dead member, and every one of
+    # its keys moved somewhere else — nobody else's keys were touched.
+    assert moved == [k for k in KEYS if before[k] == "r1"]
+    assert all(after[k] != "r1" for k in moved)
+    share = len(moved) / len(KEYS)
+    assert 0.10 < share < 0.45  # ~1/N, not a full reshuffle
+
+
+def test_rejoin_restores_exact_mapping():
+    """Respawn under the old id == byte-identical keyspace slice."""
+    ring = HashRing(["r0", "r1", "r2"])
+    before = ring.mapping(KEYS)
+    ring.remove("r1")
+    assert ring.mapping(KEYS) != before
+    ring.add("r1")
+    assert ring.mapping(KEYS) == before
+
+
+def test_remap_chain_through_churn():
+    """Kill → respawn → kill another: mappings stay consistent with a
+    fresh ring holding the same membership at every step."""
+    ring = HashRing(["r0", "r1", "r2", "r3"])
+    ring.remove("r2")
+    assert ring.mapping(KEYS) == HashRing(["r0", "r1", "r3"]).mapping(KEYS)
+    ring.add("r2")
+    ring.remove("r0")
+    assert ring.mapping(KEYS) == HashRing(["r1", "r2", "r3"]).mapping(KEYS)

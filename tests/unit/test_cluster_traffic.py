@@ -1,0 +1,95 @@
+"""Traffic generator properties: seeded determinism, mix shape, and the
+synthetic runner's deterministic per-key cost."""
+
+import numpy as np
+
+from repro.bench.runner import _deserialize
+from repro.cluster import (
+    SYNTHETIC_EXP_ID,
+    TrafficMix,
+    generate_stream,
+    key_cost_ms,
+    scaling_table,
+    synthetic_job_runner,
+)
+
+MIX = TrafficMix(
+    requests=20_000, seed=7, hot_keys=64, tail_keys=2_000,
+    burst_mean=64, offered_rate=1e9,
+)
+
+
+def test_stream_is_deterministic():
+    a = generate_stream(MIX)
+    b = generate_stream(MIX)
+    assert a.keys == b.keys
+    assert np.array_equal(a.classes, b.classes)
+    assert np.array_equal(a.tenants, b.tenants)
+    assert np.array_equal(a.burst_sizes, b.burst_sizes)
+    assert np.array_equal(a.burst_gaps_s, b.burst_gaps_s)
+
+
+def test_different_seed_different_stream():
+    a = generate_stream(MIX)
+    b = generate_stream(TrafficMix(**{**MIX.describe(), "seed": 8}))
+    assert a.keys != b.keys
+
+
+def test_stream_shape_and_mix():
+    stream = generate_stream(MIX)
+    assert len(stream) == MIX.requests
+    assert int(stream.burst_sizes.sum()) == MIX.requests
+    assert len(stream.burst_sizes) == len(stream.burst_gaps_s)
+    assert (stream.burst_gaps_s >= 0).all()
+    # Interactive requests draw from the hot set, batch from the tail.
+    for key, interactive in zip(stream.keys, stream.classes):
+        assert key.startswith("h" if interactive else "t")
+    frac = stream.classes.mean()
+    assert abs(frac - MIX.interactive_fraction) < 0.02
+    # Zipf hot set: the heaviest key dominates; the tail stays broad.
+    assert 0 < stream.unique_keys <= MIX.hot_keys + MIX.tail_keys
+    assert stream.classes.sum() > 0 and (~stream.classes).sum() > 0
+
+
+def test_tenants_within_range():
+    stream = generate_stream(MIX)
+    assert stream.tenants.min() >= 0
+    assert stream.tenants.max() < MIX.tenants
+
+
+def test_key_cost_is_deterministic_and_bounded():
+    for key in ("h0", "h17", "t123"):
+        cost = key_cost_ms(MIX, key)
+        assert cost == key_cost_ms(MIX, key)
+        assert MIX.cost_ms_min <= cost <= MIX.cost_ms_max
+    # Seed participates: a different seed moves the cost surface.
+    other = TrafficMix(**{**MIX.describe(), "seed": 99})
+    assert any(
+        key_cost_ms(MIX, f"t{i}") != key_cost_ms(other, f"t{i}")
+        for i in range(16)
+    )
+
+
+def test_synthetic_runner_roundtrips():
+    payload = synthetic_job_runner(
+        SYNTHETIC_EXP_ID, {"key": "h3", "cost_ms": 0.0}
+    )
+    result = _deserialize(payload)
+    assert result.exp_id == SYNTHETIC_EXP_ID
+    assert result.rows == [{"key": "h3", "cost_ms": 0.0}]
+
+
+def test_scaling_table_renders():
+    report = {
+        "replicas": 2,
+        "goodput_rps": 123.4,
+        "completed": 1000,
+        "shed": 5,
+        "classes": {
+            cls: {"latency_s": {"p50": 0.01, "p99": 0.05, "p999": 0.09}}
+            for cls in ("interactive", "batch")
+        },
+    }
+    table = scaling_table([report])
+    assert "| replicas |" in table.splitlines()[0]
+    assert "| 2 | 123.4 | 1000 | 5 |" in table.splitlines()[2]
