@@ -49,6 +49,10 @@ def main(argv: list[str] | None = None) -> int:
         from .trace_cmd import main_trace
 
         return main_trace(argv[1:])
+    if argv and argv[0] == "plan":
+        from ..plan.cli import main_plan
+
+        return main_plan(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -60,7 +64,9 @@ def main(argv: list[str] | None = None) -> int:
         "the million-request traffic harness), 'repro-bench cache' "
         "(result-cache stats and invalidation), 'repro-bench verify' "
         "(golden-trace regression gate), 'repro-bench trace' (event "
-        "timelines -> Perfetto trace JSON); see each one's --help.",
+        "timelines -> Perfetto trace JSON), 'repro-bench plan' (analytic "
+        "capacity planner: calibrate/predict/size/validate); see each "
+        "one's --help.",
     )
     parser.add_argument(
         "experiments",

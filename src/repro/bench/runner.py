@@ -42,6 +42,44 @@ CACHE_SCHEMA = 1
 #: processes, surfaced by ``repro-bench cache stats``.
 STATS_FILE = "_stats.json"
 
+#: Observers notified after every run served through this module (see
+#: :func:`register_run_hook`). Calibration mode for the capacity planner:
+#: ``repro.plan`` registers a hook to watch runs complete (host wall
+#: time, cache disposition) without the runner importing the planner.
+_RUN_HOOKS: list = []
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One completed (or cache-served) run, as seen by run hooks."""
+
+    exp_id: str
+    kwargs: dict
+    wall_s: float
+    cached: bool
+
+
+def register_run_hook(hook) -> None:
+    """Register ``hook(record: RunRecord)``; called after every run this
+    module executes or serves from cache. Hooks must not raise."""
+    if hook not in _RUN_HOOKS:
+        _RUN_HOOKS.append(hook)
+
+
+def unregister_run_hook(hook) -> None:
+    try:
+        _RUN_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def _notify_run_hooks(exp_id: str, kwargs: dict, wall_s: float, cached: bool):
+    if not _RUN_HOOKS:
+        return
+    record = RunRecord(exp_id, dict(kwargs), wall_s, cached)
+    for hook in list(_RUN_HOOKS):
+        hook(record)
+
 
 class ExperimentInterrupted(RuntimeError):
     """The run was interrupted (Ctrl-C / SIGTERM); ``completed`` holds
@@ -191,9 +229,25 @@ class ResultCache:
             if not p.name.startswith(("_", "."))
         )
 
+    def _read_persisted_stats(self) -> dict:
+        """Best-effort read of the lifetime hit/miss sidecar. Strictly
+        read-only: a missing or corrupt sidecar yields zeros, and is
+        *not* recreated — only :meth:`save_session_stats` ever writes,
+        so read paths (``repro-bench cache stats``) never touch disk."""
+        totals = {"hits": 0, "misses": 0}
+        try:
+            totals.update(json.loads((self.root / STATS_FILE).read_text()))
+        except (OSError, ValueError):
+            pass
+        return totals
+
     def stats(self) -> dict:
         """Entry count/bytes (per experiment), plus this process's
-        hit/miss counters and the persisted lifetime totals."""
+        hit/miss counters and the persisted lifetime totals.
+
+        Non-mutating by contract: inspecting the cache must never
+        create directories, rewrite the sidecar, or perturb mtimes
+        (guarded by a regression test)."""
         by_exp: dict[str, int] = {}
         total_bytes = 0
         entries = self._entry_paths()
@@ -204,11 +258,7 @@ class ResultCache:
                 total_bytes += path.stat().st_size
             except OSError:
                 pass
-        lifetime = {"hits": 0, "misses": 0}
-        try:
-            lifetime.update(json.loads((self.root / STATS_FILE).read_text()))
-        except (OSError, ValueError):
-            pass
+        lifetime = self._read_persisted_stats()
         return {
             "root": str(self.root),
             "entries": len(entries),
@@ -226,11 +276,7 @@ class ResultCache:
         if not (self.hits or self.misses):
             return
         path = self.root / STATS_FILE
-        totals = {"hits": 0, "misses": 0}
-        try:
-            totals.update(json.loads(path.read_text()))
-        except (OSError, ValueError):
-            pass
+        totals = self._read_persisted_stats()
         totals["hits"] += self.hits
         totals["misses"] += self.misses
         self.root.mkdir(parents=True, exist_ok=True)
@@ -255,15 +301,67 @@ def run_experiment_cached(
 ) -> ExperimentResult:
     """Run one experiment through the cache (or directly, if ``cache`` is
     None). ``force=True`` re-runs and overwrites the cached entry."""
-    if cache is None:
-        return run_experiment(exp_id, **kwargs)
-    if not force:
+    import time
+
+    if cache is not None and not force:
         hit = cache.get(exp_id, **kwargs)
         if hit is not None:
+            _notify_run_hooks(exp_id, kwargs, 0.0, cached=True)
             return hit
+    t0 = time.perf_counter()
     result = run_experiment(exp_id, **kwargs)
-    cache.put(result, **kwargs)
+    wall = time.perf_counter() - t0
+    if cache is not None:
+        cache.put(result, **kwargs)
+    _notify_run_hooks(exp_id, kwargs, wall, cached=False)
     return result
+
+
+def run_payload_cached(
+    exp_id: str,
+    producer,
+    *,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    title: str = "",
+    **kwargs,
+) -> dict:
+    """Cache an arbitrary JSON payload under the experiment-cache keying.
+
+    The capacity planner's calibration vectors want exactly the result
+    cache's invalidation semantics — keyed on kwargs + SystemConfig
+    fingerprint + package version, dropped automatically on any model
+    recalibration — without being registry experiments themselves.
+    ``producer()`` returns a JSON-serialisable dict; it is invoked only
+    on a miss (or ``force=True``), and the payload rides in ``rows[0]``
+    of a regular cache entry. ``exp_id`` must not collide with a
+    registry experiment id.
+    """
+    import time
+
+    from .experiments import experiment_ids
+
+    if exp_id in experiment_ids():
+        raise ValueError(
+            f"payload id {exp_id!r} collides with a registry experiment"
+        )
+    if cache is not None and not force:
+        hit = cache.get(exp_id, **kwargs)
+        if hit is not None and hit.rows:
+            _notify_run_hooks(exp_id, kwargs, 0.0, cached=True)
+            return hit.rows[0]
+    t0 = time.perf_counter()
+    payload = producer()
+    wall = time.perf_counter() - t0
+    if not isinstance(payload, dict):
+        raise TypeError("producer must return a dict payload")
+    if cache is not None:
+        cache.put(
+            ExperimentResult(exp_id, title or exp_id, rows=[payload]),
+            **kwargs,
+        )
+    _notify_run_hooks(exp_id, kwargs, wall, cached=False)
+    return payload
 
 
 def _pool_run(exp_id: str, kwargs: dict) -> dict:

@@ -30,6 +30,7 @@ from .traffic import (
     TrafficMix,
     run_scaling,
     scaling_table,
+    scaling_table_json,
 )
 
 
@@ -215,6 +216,12 @@ def _main_bench(argv: list[str]) -> int:
     parser.add_argument("--json", metavar="PATH",
                         help="write the full reports to a JSON file")
     parser.add_argument(
+        "--out", metavar="PATH",
+        help="write the compact machine-readable scaling table "
+        "(goodput/p99/utilization per replica count) consumed by "
+        "'repro-bench plan validate'",
+    )
+    parser.add_argument(
         "--record-bench", metavar="PATH",
         help="merge the headline numbers into this BENCH json file "
         "under a 'cluster' key",
@@ -292,6 +299,12 @@ def _main_bench(argv: list[str]) -> int:
         with open(args.json, "w") as fh:
             json.dump(reports, fh, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(
+                scaling_table_json(reports), fh, indent=2, sort_keys=True
+            )
+        print(f"wrote {args.out}")
     if args.record_bench:
         _record_bench(args.record_bench, mix, reports)
         print(f"recorded cluster headline numbers in {args.record_bench}")

@@ -194,6 +194,45 @@ class _ClassStats:
         }
 
 
+def _service_summary(replica_metrics: dict, wall_s: float) -> dict:
+    """Per-replica and fleet-wide utilization + service-time moments.
+
+    Utilization is busy-time over capacity-time: ``executed × mean
+    service`` against ``wall × workers`` per replica. This is what the
+    capacity planner validates its ρ predictions against."""
+    per_replica: dict[str, dict] = {}
+    busy_total = 0.0
+    capacity_total = 0.0
+    executed_total = 0
+    service_total = 0.0
+    for rid, m in sorted(replica_metrics.items()):
+        executed = m.get("jobs", {}).get("executed", 0)
+        exec_lat = m.get("latency_s", {}).get("execution", {})
+        mean_s = float(exec_lat.get("mean", 0.0))
+        workers = max(1, m.get("workers", {}).get("count", 1))
+        busy = executed * mean_s
+        capacity = wall_s * workers
+        per_replica[rid] = {
+            "executed": executed,
+            "workers": workers,
+            "mean_service_s": round(mean_s, 6),
+            "utilization": round(busy / capacity, 4) if capacity else 0.0,
+        }
+        busy_total += busy
+        capacity_total += capacity
+        executed_total += executed
+        service_total += busy
+    return {
+        "utilization": (
+            round(busy_total / capacity_total, 4) if capacity_total else 0.0
+        ),
+        "mean_service_s": (
+            round(service_total / executed_total, 6) if executed_total else 0.0
+        ),
+        "per_replica": per_replica,
+    }
+
+
 async def run_traffic(
     gateway,
     mix: TrafficMix,
@@ -294,6 +333,7 @@ async def run_traffic(
         m.get("jobs", {}).get("executed", 0)
         for m in replica_metrics.values()
     )
+    service = _service_summary(replica_metrics, wall)
     misses_total = sum(
         acct["misses"]
         for acct in gw_snap["shared_cache"]["per_replica"].values()
@@ -309,6 +349,12 @@ async def run_traffic(
         "failed": sum(s.failed for s in stats.values()),
         "shed": sum(sum(s.shed.values()) for s in stats.values()),
         "goodput_rps": round(completed / wall, 1) if wall else 0.0,
+        "service": service,
+        # What a planner needs to reconstruct key->replica routing.
+        "routing": {
+            "vnodes": gateway.config.vnodes,
+            "workers_per_replica": gateway.config.workers_per_replica,
+        },
         "classes": {name: s.snapshot() for name, s in stats.items()},
         "exactly_once": {
             # With no fault injection every forwarded key executes on
@@ -383,3 +429,49 @@ def scaling_table(reports: list[dict]) -> str:
             f"| {fmt('interactive')} | {fmt('batch')} |"
         )
     return "\n".join(lines)
+
+
+def scaling_table_json(reports: list[dict]) -> dict:
+    """Machine-readable scaling table for planner validation.
+
+    One compact row per replica count — goodput, latency percentiles
+    per class, fleet utilization and mean service time — so
+    ``repro-bench plan validate`` consumes measured curves without
+    screen-scraping the markdown table or lugging full reports around.
+    """
+    rows = []
+    for report in reports:
+        def lat(cls: str) -> dict:
+            snap = report["classes"][cls]["latency_s"]
+            return {
+                "p50_s": snap["p50"],
+                "p99_s": snap["p99"],
+                "p999_s": snap["p999"],
+                "mean_s": snap["mean"],
+            }
+
+        service = report.get("service", {})
+        rows.append(
+            {
+                "replicas": report["replicas"],
+                "offered": report["offered"],
+                "unique_keys": report["unique_keys"],
+                "completed": report["completed"],
+                "shed": report["shed"],
+                "failed": report["failed"],
+                "wall_s": report["wall_s"],
+                "goodput_rps": report["goodput_rps"],
+                "utilization": service.get("utilization", 0.0),
+                "mean_service_s": service.get("mean_service_s", 0.0),
+                "interactive": lat("interactive"),
+                "batch": lat("batch"),
+            }
+        )
+    routing = reports[0].get("routing", {}) if reports else {}
+    return {
+        "schema": 1,
+        "mix": reports[0]["mix"] if reports else {},
+        "vnodes": routing.get("vnodes"),
+        "workers_per_replica": routing.get("workers_per_replica"),
+        "rows": rows,
+    }

@@ -1,0 +1,68 @@
+"""Analytic capacity planner calibrated by the simulator.
+
+Answers "how many replicas / superchips for X req/s at p99 < Z?" in
+microseconds: per-workload cost vectors are extracted from single
+cached calibration runs (:mod:`.calibrate`), composed and re-priced
+against target configurations (:mod:`.model`), pushed through M/G/c
+queueing approximations (:mod:`.queueing`), inverted for SLOs
+(:mod:`.solver`) and cross-validated against measured cluster runs
+(:mod:`.validate`). Surfaced as ``repro-bench plan``.
+"""
+
+from .calibrate import (
+    CALIBRATION_RUNS,
+    CostVector,
+    calibratable_ids,
+    calibrate,
+    calibrate_many,
+    load_calibrated,
+    measure_cost_vector,
+)
+from .model import MixModel, ServiceTerms, WorkloadModel, parse_mix
+from .queueing import (
+    QueueEstimate,
+    erlang_c,
+    estimate,
+    finite_run_wall_s,
+    geometric_burst_arrival_scv,
+    mixture_moments,
+    mixture_percentile,
+)
+from .solver import SizingResult, solve_min_replicas
+from .validate import (
+    StreamStats,
+    measured_min_replicas,
+    predict_goodput_rps,
+    predicted_min_replicas,
+    stream_stats,
+    validate_scaling,
+)
+
+__all__ = [
+    "CALIBRATION_RUNS",
+    "CostVector",
+    "MixModel",
+    "QueueEstimate",
+    "ServiceTerms",
+    "SizingResult",
+    "StreamStats",
+    "WorkloadModel",
+    "calibratable_ids",
+    "calibrate",
+    "calibrate_many",
+    "erlang_c",
+    "estimate",
+    "finite_run_wall_s",
+    "geometric_burst_arrival_scv",
+    "load_calibrated",
+    "measure_cost_vector",
+    "measured_min_replicas",
+    "mixture_moments",
+    "mixture_percentile",
+    "parse_mix",
+    "predict_goodput_rps",
+    "predicted_min_replicas",
+    "solve_min_replicas",
+    "stream_stats",
+    "validate_scaling",
+]

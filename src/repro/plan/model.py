@@ -1,0 +1,274 @@
+"""Analytic service-time model over calibrated cost vectors.
+
+Prediction is a *decompose → re-compose* cycle. A calibration run
+measured ``service_time_s`` under known bandwidths and fault costs; the
+model subtracts the explainable terms (bytes over each tier at the
+calibration bandwidths, faults at the calibration costs) to isolate a
+residual ``t_base`` — compute, latency and everything the linear terms
+do not capture. Predicting a new configuration re-prices the same byte
+and fault counts against the *target* constants and adds the residual
+back. At the calibration configuration the cycle is exact by
+construction: prediction ≡ measurement.
+
+Two roofline guards keep the linear model honest:
+
+* the predicted time can never drop below the largest single tier term
+  (one memory system must still move its bytes, whatever else overlaps);
+* per-superchip throughput is capped by ``min_r bandwidth_r / bytes_r``
+  across tiers — the sizing solver uses this to convert a request rate
+  into a superchip count independent of replica count.
+
+Oversubscription is modelled as a spill fraction: a working set ``R``
+times GPU capacity keeps only ``1/R`` of its accesses on HBM, so
+raising ``R`` beyond the calibrated ratio shifts the excess HBM bytes
+onto the C2C path (the paper's Figures 11-13 collapse mechanism),
+re-priced at C2C bandwidth.
+
+Workload mixes compose linearly: a ``fig12:0.6,fig13:0.4`` mix is a
+per-request service-time *mixture* (each request is one workload), so
+the queueing layer receives the mixture's mean, second moment and SCV
+rather than a single blended scalar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import SystemConfig
+from .calibrate import CostVector
+from .queueing import mixture_moments, mixture_percentile
+
+
+def parse_mix(spec: str) -> dict[str, float]:
+    """Parse ``"fig12:0.6,fig13:0.4"`` into ``{exp_id: weight}``.
+
+    A bare id (``"fig12"``) gets weight 1. Weights need not sum to 1 —
+    they are normalised downstream — but must be positive.
+    """
+    mix: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            exp_id, _, raw = part.partition(":")
+            try:
+                weight = float(raw)
+            except ValueError:
+                raise ValueError(f"bad mix weight in {part!r}") from None
+        else:
+            exp_id, weight = part, 1.0
+        if weight <= 0:
+            raise ValueError(f"mix weight must be positive in {part!r}")
+        mix[exp_id.strip()] = mix.get(exp_id.strip(), 0.0) + weight
+    if not mix:
+        raise ValueError(f"empty mix spec {spec!r}")
+    return mix
+
+
+@dataclass(frozen=True)
+class ServiceTerms:
+    """Per-tier decomposition of one request's service time (seconds)."""
+
+    hbm_s: float
+    ddr_s: float
+    c2c_s: float
+    fault_s: float
+    base_s: float  # residual: compute + latency + unmodelled effects
+
+    @property
+    def total_s(self) -> float:
+        linear = (
+            self.base_s + self.hbm_s + self.ddr_s + self.c2c_s + self.fault_s
+        )
+        # Roofline floor: whatever overlaps, the busiest tier still has
+        # to move its bytes.
+        return max(linear, self.hbm_s, self.ddr_s, self.c2c_s)
+
+
+def _spill_fraction(ratio: float) -> float:
+    """Fraction of GPU-side accesses forced off HBM at oversubscription
+    ``ratio`` (working set / GPU capacity): capacity holds ``1/R``."""
+    if ratio <= 1.0:
+        return 0.0
+    return 1.0 - 1.0 / ratio
+
+
+class WorkloadModel:
+    """Service-time predictor for one calibrated workload."""
+
+    def __init__(self, vector: CostVector):
+        self.vector = vector
+
+    def _terms(
+        self,
+        hbm_bw: float,
+        ddr_bw: float,
+        c2c_h2d_bw: float,
+        c2c_d2h_bw: float,
+        gpu_fault_cost: float,
+        cpu_fault_cost: float,
+        far_fault_cost: float,
+        oversubscription: float | None,
+    ) -> ServiceTerms:
+        v = self.vector
+        hbm_bytes = float(v.hbm_bytes)
+        c2c_h2d = float(v.c2c_h2d_bytes)
+        if oversubscription is not None:
+            delta = _spill_fraction(oversubscription) - _spill_fraction(
+                v.oversubscription
+            )
+            shifted = max(-c2c_h2d, min(hbm_bytes, delta * hbm_bytes))
+            hbm_bytes -= shifted
+            c2c_h2d += shifted
+        return ServiceTerms(
+            hbm_s=hbm_bytes / hbm_bw,
+            ddr_s=v.ddr_bytes / ddr_bw,
+            c2c_s=c2c_h2d / c2c_h2d_bw + v.c2c_d2h_bytes / c2c_d2h_bw,
+            fault_s=(
+                v.gpu_faults * gpu_fault_cost
+                + v.cpu_faults * cpu_fault_cost
+                + v.far_faults * far_fault_cost
+            ),
+            base_s=0.0,
+        )
+
+    def calibration_terms(self) -> ServiceTerms:
+        """The decomposition at the calibration configuration; its
+        residual makes the round trip exact."""
+        v = self.vector
+        t = self._terms(
+            v.hbm_bw, v.ddr_bw, v.c2c_h2d_bw, v.c2c_d2h_bw,
+            v.gpu_fault_cost, v.cpu_fault_cost, v.far_fault_cost,
+            oversubscription=None,
+        )
+        base = v.service_time_s - (t.hbm_s + t.ddr_s + t.c2c_s + t.fault_s)
+        return ServiceTerms(t.hbm_s, t.ddr_s, t.c2c_s, t.fault_s, base)
+
+    def predict_terms(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        oversubscription: float | None = None,
+    ) -> ServiceTerms:
+        """Re-price the calibrated counts against ``config`` (defaults
+        to the paper testbed) at an optional new oversubscription."""
+        cfg = config or SystemConfig.paper_gh200()
+        base = self.calibration_terms().base_s
+        t = self._terms(
+            cfg.hbm_bandwidth, cfg.cpu_memory_bandwidth,
+            cfg.c2c_h2d_bandwidth, cfg.c2c_d2h_bandwidth,
+            cfg.gpu_replayable_fault_cost, cfg.cpu_fault_cost,
+            cfg.managed_farfault_cost,
+            oversubscription=oversubscription,
+        )
+        return ServiceTerms(t.hbm_s, t.ddr_s, t.c2c_s, t.fault_s, base)
+
+    def predict_service_time(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        oversubscription: float | None = None,
+        checkpoint: bool = False,
+    ) -> float:
+        """Seconds per request. ``checkpoint=True`` models requests
+        replayed off an epoch checkpoint: only the calibrated suffix
+        fraction of the run executes."""
+        total = self.predict_terms(
+            config, oversubscription=oversubscription
+        ).total_s
+        if checkpoint:
+            total *= self.vector.checkpoint_suffix_fraction
+        return max(0.0, total)
+
+    def bytes_by_tier(self) -> dict[str, float]:
+        v = self.vector
+        return {
+            "hbm": float(v.hbm_bytes),
+            "ddr": float(v.ddr_bytes),
+            "c2c_h2d": float(v.c2c_h2d_bytes),
+            "c2c_d2h": float(v.c2c_d2h_bytes),
+        }
+
+
+class MixModel:
+    """A traffic mix over calibrated workloads, ready for queueing."""
+
+    def __init__(self, vectors: dict[str, CostVector], mix: dict[str, float]):
+        missing = [e for e in mix if e not in vectors]
+        if missing:
+            raise KeyError(f"no cost vector for mix component(s) {missing}")
+        self.mix = dict(mix)
+        self.models = {e: WorkloadModel(vectors[e]) for e in mix}
+
+    def _times(
+        self,
+        config: SystemConfig | None,
+        oversubscription: float | None,
+        checkpoint: bool,
+    ) -> tuple[list[float], list[float]]:
+        times, weights = [], []
+        for exp_id, weight in self.mix.items():
+            times.append(
+                self.models[exp_id].predict_service_time(
+                    config,
+                    oversubscription=oversubscription,
+                    checkpoint=checkpoint,
+                )
+            )
+            weights.append(weight)
+        return times, weights
+
+    def service_moments(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        oversubscription: float | None = None,
+        checkpoint: bool = False,
+    ) -> tuple[float, float, float]:
+        """``(mean_s, second_moment_s2, scv)`` of the mixture."""
+        return mixture_moments(
+            *self._times(config, oversubscription, checkpoint)
+        )
+
+    def service_percentile(
+        self,
+        p: float,
+        config: SystemConfig | None = None,
+        *,
+        oversubscription: float | None = None,
+        checkpoint: bool = False,
+    ) -> float:
+        return mixture_percentile(
+            *self._times(config, oversubscription, checkpoint), p
+        )
+
+    def superchip_rate(
+        self, config: SystemConfig | None = None
+    ) -> tuple[float, str]:
+        """Requests/s one superchip's memory system sustains for this
+        mix, and the limiting tier — the bandwidth roofline
+        ``min_r bw_r / bytes_r`` over mix-averaged per-request bytes."""
+        cfg = config or SystemConfig.paper_gh200()
+        total_w = sum(self.mix.values())
+        per_request: dict[str, float] = {}
+        for exp_id, weight in self.mix.items():
+            for tier, b in self.models[exp_id].bytes_by_tier().items():
+                per_request[tier] = per_request.get(tier, 0.0) + (
+                    weight / total_w
+                ) * b
+        bw = {
+            "hbm": cfg.hbm_bandwidth,
+            "ddr": cfg.cpu_memory_bandwidth,
+            "c2c_h2d": cfg.c2c_h2d_bandwidth,
+            "c2c_d2h": cfg.c2c_d2h_bandwidth,
+        }
+        best_rate = float("inf")
+        limiting = "none"
+        for tier, nbytes in per_request.items():
+            if nbytes <= 0:
+                continue
+            rate = bw[tier] / nbytes
+            if rate < best_rate:
+                best_rate, limiting = rate, tier
+        return best_rate, limiting

@@ -1,0 +1,262 @@
+"""Steady-state queueing approximations for the serve + cluster tier.
+
+The planner treats the serving fleet as a ``G/G/c`` station: ``c``
+servers (replicas × workers per replica), a request mix whose service
+time is a *mixture of deterministic costs* (one per calibrated
+workload), and an arrival process whose burstiness is summarised by a
+squared coefficient of variation. Three classic results are layered:
+
+* **Erlang C** (M/M/c) gives the probability an arrival waits and the
+  mean wait; computed with the numerically stable recurrence, never a
+  naive factorial.
+* **Allen–Cunneen** corrects the M/M/c wait for general service and
+  arrival variability: ``Wq ≈ Wq(M/M/c) · (ca² + cs²) / 2``. Its known
+  error is small (<10%) for moderate utilisation and variability, and
+  degrades near ``ρ → 1`` or for extreme SCVs — which is exactly where
+  the planner reports ``stable=False`` or saturation anyway.
+* The **exponential-tail** wait distribution of M/M/c,
+  ``P(W > t | wait) = exp(-(cμ - λ)t)``, stretched by the same
+  Allen–Cunneen factor so the tail's mean matches the corrected mean;
+  wait percentiles come from inverting it in closed form.
+
+Cache hits and cross-replica coalescing *thin* the arrival stream: a
+request answered by the shared cache or attached to an identical
+in-flight job never occupies a server, so the effective arrival rate at
+the queueing station is ``λ · (1 - hit - coalesce)`` while the goodput
+still counts every completed request.
+
+Every function guards its edges explicitly: ``c = 1`` reduces Erlang C
+to ``ρ``, zero service time short-circuits to zero latency, and
+``ρ ≥ 1`` reports saturation (infinite steady-state waits, goodput
+pinned at capacity) instead of dividing by zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability an arrival has to wait (M/M/c).
+
+    ``offered_load`` is ``a = λ/μ = λ · E[S]`` in Erlangs. Computed via
+    the Erlang-B recurrence ``B(k) = a·B(k-1) / (k + a·B(k-1))`` and
+    ``C = B / (1 - ρ(1-B))`` — every intermediate stays in [0, 1], so
+    this never overflows even for thousands of servers (the naive
+    ``a^k/k!`` sum blows up past a ≈ 700). With ``servers = 1`` this
+    reduces to ``ρ`` exactly; saturated systems (``a ≥ c``) wait with
+    probability 1.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if offered_load <= 0.0:
+        return 0.0
+    rho = offered_load / servers
+    if rho >= 1.0:
+        return 1.0
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+@dataclass(frozen=True)
+class QueueEstimate:
+    """One fleet-size operating point predicted by the model."""
+
+    servers: int
+    #: Offered request rate (before thinning), req/s.
+    arrival_rps: float
+    #: Rate actually hitting the servers after cache/coalesce thinning.
+    effective_rps: float
+    #: Mean service time of a *served* (miss) request, seconds.
+    service_mean_s: float
+    #: Squared coefficient of variation of the service time.
+    service_scv: float
+    utilization: float
+    stable: bool
+    #: Probability an effective arrival waits (Erlang C).
+    p_wait: float
+    wait_mean_s: float
+    wait_p50_s: float
+    wait_p99_s: float
+    #: Mean/percentile end-to-end latency of a served request
+    #: (wait + service); cache hits see ~0 and are excluded.
+    sojourn_mean_s: float
+    p50_s: float
+    p99_s: float
+    #: Sustainable completion rate: every offered request when stable,
+    #: hits + server capacity when saturated.
+    goodput_rps: float
+    notes: tuple[str, ...] = field(default=())
+
+
+def estimate(
+    arrival_rps: float,
+    service_mean_s: float,
+    servers: int,
+    *,
+    service_scv: float = 0.0,
+    arrival_scv: float = 1.0,
+    thinning: float = 0.0,
+    service_p50_s: float | None = None,
+    service_p99_s: float | None = None,
+) -> QueueEstimate:
+    """Predict one ``G/G/c`` operating point.
+
+    ``thinning`` is the fraction of arrivals absorbed upstream of the
+    servers (shared-cache hits + coalesced joins); ``service_*`` moments
+    describe the *miss* traffic that actually executes. ``arrival_scv``
+    is the SCV of the arrival process (1 = Poisson; bursty replay with
+    geometric bursts of mean ``B`` is ≈ ``2B - 1``).
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if not 0.0 <= thinning <= 1.0:
+        raise ValueError("thinning must be within [0, 1]")
+    if service_mean_s < 0 or arrival_rps < 0:
+        raise ValueError("rates and service times must be non-negative")
+    s50 = service_mean_s if service_p50_s is None else service_p50_s
+    s99 = service_mean_s if service_p99_s is None else service_p99_s
+
+    lam = arrival_rps * (1.0 - thinning)
+    notes: list[str] = []
+    # Zero-service-time guard: an infinitely fast server never queues.
+    if service_mean_s == 0.0 or lam == 0.0:
+        return QueueEstimate(
+            servers=servers, arrival_rps=arrival_rps, effective_rps=lam,
+            service_mean_s=service_mean_s, service_scv=service_scv,
+            utilization=0.0, stable=True, p_wait=0.0,
+            wait_mean_s=0.0, wait_p50_s=0.0, wait_p99_s=0.0,
+            sojourn_mean_s=service_mean_s, p50_s=s50, p99_s=s99,
+            goodput_rps=arrival_rps,
+            notes=("zero-load short-circuit",),
+        )
+
+    offered = lam * service_mean_s  # Erlangs
+    capacity = servers / service_mean_s  # misses/s the fleet can retire
+    rho = offered / servers
+    correction = max(0.0, (arrival_scv + service_scv) / 2.0)
+
+    if rho >= 1.0:
+        # Saturation: steady-state waits diverge; goodput pins at
+        # capacity plus whatever the cache tier absorbs.
+        goodput = capacity + arrival_rps * thinning
+        return QueueEstimate(
+            servers=servers, arrival_rps=arrival_rps, effective_rps=lam,
+            service_mean_s=service_mean_s, service_scv=service_scv,
+            utilization=min(rho, 1.0), stable=False, p_wait=1.0,
+            wait_mean_s=math.inf, wait_p50_s=math.inf, wait_p99_s=math.inf,
+            sojourn_mean_s=math.inf, p50_s=math.inf, p99_s=math.inf,
+            goodput_rps=min(goodput, arrival_rps),
+            notes=(f"saturated: rho={rho:.3f} >= 1",),
+        )
+
+    p_wait = erlang_c(servers, offered)
+    drain = capacity - lam  # (cμ - λ), the M/M/c tail decay rate
+    wait_mean = p_wait / drain * correction
+    # Stretch the exponential tail so its mean matches Allen-Cunneen.
+    decay = drain / correction if correction > 0 else math.inf
+
+    def wait_percentile(p: float) -> float:
+        tail = 1.0 - p
+        if p_wait <= tail or decay == math.inf:
+            return 0.0
+        return math.log(p_wait / tail) / decay
+
+    if rho > 0.9:
+        notes.append(
+            f"rho={rho:.3f} > 0.9: Allen-Cunneen error grows near "
+            "saturation; treat percentiles as indicative"
+        )
+    return QueueEstimate(
+        servers=servers, arrival_rps=arrival_rps, effective_rps=lam,
+        service_mean_s=service_mean_s, service_scv=service_scv,
+        utilization=rho, stable=True, p_wait=p_wait,
+        wait_mean_s=wait_mean,
+        wait_p50_s=wait_percentile(0.50),
+        wait_p99_s=wait_percentile(0.99),
+        sojourn_mean_s=wait_mean + service_mean_s,
+        p50_s=wait_percentile(0.50) + s50,
+        p99_s=wait_percentile(0.99) + s99,
+        goodput_rps=arrival_rps,
+        notes=tuple(notes),
+    )
+
+
+def mixture_moments(
+    times_s: list[float], weights: list[float]
+) -> tuple[float, float, float]:
+    """Mean, second moment and SCV of a deterministic-per-class mixture.
+
+    Each workload class contributes its (deterministic) service time
+    with its traffic share; the mixture's variability is what M/G/c
+    sees. Weights are normalised; all-zero weights are rejected.
+    """
+    if len(times_s) != len(weights) or not times_s:
+        raise ValueError("times and weights must be equal-length, non-empty")
+    if any(w < 0 for w in weights) or any(t < 0 for t in times_s):
+        raise ValueError("times and weights must be non-negative")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    shares = [w / total for w in weights]
+    mean = sum(s * t for s, t in zip(shares, times_s))
+    m2 = sum(s * t * t for s, t in zip(shares, times_s))
+    var = max(0.0, m2 - mean * mean)
+    scv = var / (mean * mean) if mean > 0 else 0.0
+    return mean, m2, scv
+
+
+def mixture_percentile(
+    times_s: list[float], weights: list[float], p: float
+) -> float:
+    """p-quantile of the deterministic mixture (exact, by sorting)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be within [0, 1]")
+    pairs = sorted(zip(times_s, weights))
+    total = sum(w for _, w in pairs)
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    acc = 0.0
+    for t, w in pairs:
+        acc += w / total
+        if acc >= p - 1e-12:
+            return t
+    return pairs[-1][0]
+
+
+def geometric_burst_arrival_scv(burst_mean: float) -> float:
+    """Arrival-process SCV of back-to-back geometric bursts.
+
+    A batch-Poisson process with geometric batch sizes of mean ``B``
+    has an index of dispersion ≈ ``2B - 1`` (each burst arrives as one
+    near-instant clump); this is the ``ca²`` the traffic generator's
+    replay presents to the fleet.
+    """
+    if burst_mean < 1:
+        raise ValueError("burst_mean must be >= 1")
+    return 2.0 * burst_mean - 1.0
+
+
+def finite_run_wall_s(
+    arrival_span_s: float,
+    total_work_s: float,
+    servers: int,
+    *,
+    tail_service_s: float = 0.0,
+) -> float:
+    """Wall time to complete a finite replay.
+
+    An open-loop replay offers work over ``arrival_span_s``; the fleet
+    retires ``servers`` seconds of work per second. The run ends at the
+    later of the two, plus the tail of the last request still in
+    service. This is the deterministic bound the throughput gate uses —
+    robust where steady-state formulas are not (finite N, warmup).
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if arrival_span_s < 0 or total_work_s < 0:
+        raise ValueError("spans must be non-negative")
+    return max(arrival_span_s, total_work_s / servers) + tail_service_s

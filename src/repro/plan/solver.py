@@ -1,0 +1,175 @@
+"""SLO inversion: minimal fleet size for a traffic mix.
+
+The forward model (cost vectors → service moments → queueing estimate)
+is cheap enough to evaluate thousands of times per query, so inversion
+is search, not algebra: predicted p99 is monotone non-increasing in the
+server count (more servers only ever shorten waits), which makes
+doubling + binary search exact.
+
+Feasibility is decided *before* searching: with infinitely many servers
+nobody waits, so p99 can never drop below the service-time p99 of the
+mix itself. An SLO under that floor is unachievable at any fleet size —
+the solver says so explicitly (``slo_feasible=False``) and still
+returns a useful answer: the smallest fleet that is stable and
+wait-free enough that adding replicas no longer moves the needle.
+
+Superchip count is sized independently of replicas, from the bandwidth
+roofline (requests/s one superchip's memory tiers sustain for the mix);
+the binding constraint of the two is reported as ``limiting``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .queueing import QueueEstimate
+
+#: Search cap: past this many replicas the model (and the budget) has
+#: bigger problems than queueing delay.
+MAX_REPLICAS = 1 << 16
+
+#: "Adding replicas no longer helps": residual wait probability below
+#: this is treated as the wait-free regime for infeasible SLOs.
+_WAIT_FREE_P = 0.01
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Answer to "how many replicas / superchips for this SLO?"."""
+
+    replicas: int
+    servers: int
+    workers_per_replica: int
+    superchips: int
+    arrival_rps: float
+    slo_p99_s: float
+    slo_feasible: bool
+    #: What bound the answer: "slo" (the search met the SLO), or for
+    #: infeasible SLOs "service-floor" (service time alone exceeds it).
+    limiting: str
+    #: Smallest replica count with a stable queue at this load.
+    stability_floor: int
+    #: Zero-wait lower bound on achievable p99 (mix service p99).
+    p99_floor_s: float
+    estimate: QueueEstimate
+    notes: tuple[str, ...] = field(default=())
+
+
+def solve_min_replicas(
+    estimate_fn: Callable[[int], QueueEstimate],
+    *,
+    arrival_rps: float,
+    slo_p99_s: float,
+    workers_per_replica: int = 1,
+    p99_floor_s: float = 0.0,
+    superchip_rate_rps: float = math.inf,
+    max_replicas: int = MAX_REPLICAS,
+) -> SizingResult:
+    """Minimal replicas such that ``estimate_fn(replicas * workers)``
+    is stable and meets ``p99 <= slo_p99_s``.
+
+    ``estimate_fn`` maps a *server* count to a :class:`QueueEstimate`
+    (the caller bakes in service moments, thinning and burstiness);
+    it must be monotone: more servers never worsen p99.
+    """
+    if arrival_rps <= 0:
+        raise ValueError("arrival_rps must be positive")
+    if slo_p99_s <= 0:
+        raise ValueError("slo_p99_s must be positive")
+    if workers_per_replica < 1:
+        raise ValueError("workers_per_replica must be >= 1")
+
+    def at(replicas: int) -> QueueEstimate:
+        return estimate_fn(replicas * workers_per_replica)
+
+    feasible = p99_floor_s <= slo_p99_s
+    notes: list[str] = []
+
+    def meets(est: QueueEstimate) -> bool:
+        if feasible:
+            return est.stable and est.p99_s <= slo_p99_s
+        # Infeasible SLO: settle for "stable and effectively wait-free".
+        return est.stable and est.p_wait <= _WAIT_FREE_P
+
+    # Doubling phase: find the first power-of-two replica count that
+    # qualifies (also yields the stability floor's bracket).
+    hi = 1
+    first_stable: int | None = None
+    while hi <= max_replicas:
+        est = at(hi)
+        if est.stable and first_stable is None:
+            first_stable = hi
+        if meets(est):
+            break
+        hi *= 2
+    else:
+        est = at(max_replicas)
+        return SizingResult(
+            replicas=max_replicas,
+            servers=max_replicas * workers_per_replica,
+            workers_per_replica=workers_per_replica,
+            superchips=_superchips(arrival_rps, superchip_rate_rps),
+            arrival_rps=arrival_rps,
+            slo_p99_s=slo_p99_s,
+            slo_feasible=False,
+            limiting="search-cap",
+            stability_floor=max_replicas,
+            p99_floor_s=p99_floor_s,
+            estimate=est,
+            notes=(
+                f"no qualifying fleet within {max_replicas} replicas",
+            ),
+        )
+
+    # Binary search the smallest qualifying count in (hi/2, hi].
+    lo = hi // 2
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if meets(at(mid)):
+            hi = mid
+        else:
+            lo = mid
+
+    # Tighten the stability floor below the answer (it is <= hi).
+    floor_lo, floor_hi = 0, first_stable if first_stable is not None else hi
+    while floor_hi - floor_lo > 1:
+        mid = (floor_lo + floor_hi) // 2
+        if at(mid).stable:
+            floor_hi = mid
+        else:
+            floor_lo = mid
+
+    if not feasible:
+        notes.append(
+            f"SLO p99={slo_p99_s:.3f}s is below the mix's zero-wait "
+            f"service p99 of {p99_floor_s:.3f}s — unachievable at any "
+            "fleet size; returning the smallest effectively wait-free "
+            "fleet instead"
+        )
+    final = at(hi)
+    return SizingResult(
+        replicas=hi,
+        servers=hi * workers_per_replica,
+        workers_per_replica=workers_per_replica,
+        superchips=_superchips(arrival_rps, superchip_rate_rps),
+        arrival_rps=arrival_rps,
+        slo_p99_s=slo_p99_s,
+        slo_feasible=feasible,
+        limiting="slo" if feasible else "service-floor",
+        stability_floor=floor_hi,
+        p99_floor_s=p99_floor_s,
+        estimate=final,
+        notes=tuple(notes),
+    )
+
+
+def _superchips(arrival_rps: float, superchip_rate_rps: float) -> int:
+    """Superchips needed so the memory roofline sustains the offered
+    rate (1 minimum: the fleet exists even at trivial load)."""
+    if superchip_rate_rps <= 0:
+        raise ValueError("superchip_rate_rps must be positive")
+    if math.isinf(superchip_rate_rps):
+        return 1
+    return max(1, math.ceil(arrival_rps / superchip_rate_rps))

@@ -33,6 +33,7 @@ class Histogram:
         self.buckets: dict[int, int] = {}
         self.count = 0
         self.total = 0.0
+        self.total_sq = 0.0
         self.min: float | None = None
         self.max: float | None = None
 
@@ -51,6 +52,7 @@ class Histogram:
         self.buckets[idx] = self.buckets.get(idx, 0) + 1
         self.count += 1
         self.total += value
+        self.total_sq += value * value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
@@ -70,6 +72,21 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def second_moment(self) -> float:
+        """``E[X²]`` of the recorded samples — exact (accumulated from
+        raw values, not reconstructed from buckets). With the mean this
+        gives the variance and SCV that M/G/c queueing needs."""
+        return self.total_sq / self.count if self.count else 0.0
+
+    def scv(self) -> float:
+        """Squared coefficient of variation, ``Var/Mean²`` (0 if empty
+        or degenerate)."""
+        mean = self.mean
+        if mean <= 0.0:
+            return 0.0
+        var = max(0.0, self.second_moment() - mean * mean)
+        return var / (mean * mean)
 
     def snapshot(self) -> dict:
         """JSON-able summary (count/mean/min/max + key percentiles)."""

@@ -77,6 +77,19 @@ class ServiceMetrics:
         looked = self.cache_hits + self.cache_misses
         return self.cache_hits / looked if looked else 0.0
 
+    def arrival_rate(self) -> float:
+        """Observed arrival rate (submissions/s over the uptime) — the
+        λ the capacity planner's queueing layer consumes."""
+        uptime = time.monotonic() - self.started_at
+        return self.submitted / uptime if uptime > 0 else 0.0
+
+    def service_time_moments(self) -> tuple[float, float]:
+        """``(mean_s, second_moment_s2)`` of executed-job service time,
+        from the execution-latency histogram's exact accumulators —
+        with :meth:`arrival_rate` this is everything an M/G/c estimate
+        needs from a live service."""
+        return self.exec_latency.mean, self.exec_latency.second_moment()
+
     def snapshot(self) -> dict:
         """JSON-able point-in-time view of the whole service."""
         return {
@@ -120,6 +133,14 @@ class ServiceMetrics:
                 "execution": self.exec_latency.snapshot(),
                 "total": self.total_latency.snapshot(),
             },
+            "rates": {
+                "arrival_rps": round(self.arrival_rate(), 3),
+                "service_mean_s": round(self.exec_latency.mean, 6),
+                "service_m2_s2": round(
+                    self.exec_latency.second_moment(), 9
+                ),
+                "service_scv": round(self.exec_latency.scv(), 4),
+            },
         }
 
     def log_line(self) -> str:
@@ -137,6 +158,8 @@ class ServiceMetrics:
                 "coalesced": self.coalesced,
                 "cache_hit_ratio": snap["cache"]["hit_ratio"],
                 "worker_restarts": snap["workers"]["restarts"],
+                "arrival_rps": snap["rates"]["arrival_rps"],
+                "service_mean_s": snap["rates"]["service_mean_s"],
                 "p50_total_s": snap["latency_s"]["total"]["p50"],
                 "p99_total_s": snap["latency_s"]["total"]["p99"],
                 "p999_total_s": snap["latency_s"]["total"]["p999"],

@@ -1,0 +1,101 @@
+"""Property tests: the capacity planner's orderings.
+
+The solver's binary search and the validation gate both stake
+correctness on monotonicity — more servers never hurt, more load never
+helps — and on Erlang C behaving like a probability everywhere in its
+domain (including the thousands-of-servers regime where naive
+factorial formulations overflow). Hypothesis sweeps those claims.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan.queueing import erlang_c, estimate, finite_run_wall_s
+
+rates = st.floats(0.1, 5_000.0, allow_nan=False, allow_infinity=False)
+services = st.floats(1e-4, 10.0, allow_nan=False, allow_infinity=False)
+scvs = st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False)
+server_counts = st.integers(1, 4096)
+
+
+@given(servers=server_counts, offered=st.floats(0.0, 8000.0))
+def test_erlang_c_is_a_probability(servers, offered):
+    p = erlang_c(servers, offered)
+    assert 0.0 <= p <= 1.0
+    assert math.isfinite(p)
+
+
+@given(
+    servers=st.integers(1, 256),
+    a1=st.floats(0.01, 300.0),
+    a2=st.floats(0.01, 300.0),
+)
+def test_erlang_c_monotone_in_offered_load(servers, a1, a2):
+    lo, hi = sorted((a1, a2))
+    assert erlang_c(servers, lo) <= erlang_c(servers, hi) + 1e-12
+
+
+@given(
+    arrival=rates, service=services, scv=scvs,
+    servers=st.integers(1, 512), extra=st.integers(1, 512),
+)
+@settings(max_examples=200)
+def test_more_servers_never_worsen_latency_or_goodput(
+    arrival, service, scv, servers, extra
+):
+    small = estimate(arrival, service, servers, service_scv=scv)
+    big = estimate(arrival, service, servers + extra, service_scv=scv)
+    assert big.goodput_rps >= small.goodput_rps - 1e-9
+    # p99 comparison only meaningful once both are finite.
+    if small.stable:
+        assert big.stable
+        assert big.p99_s <= small.p99_s + 1e-9
+        assert big.wait_mean_s <= small.wait_mean_s + 1e-9
+
+
+@given(
+    r1=rates, r2=rates, service=services, scv=scvs,
+    servers=st.integers(1, 128),
+)
+@settings(max_examples=200)
+def test_more_load_never_shortens_waits(r1, r2, service, scv, servers):
+    lo, hi = sorted((r1, r2))
+    calm = estimate(lo, service, servers, service_scv=scv)
+    busy = estimate(hi, service, servers, service_scv=scv)
+    assert busy.utilization >= calm.utilization - 1e-12
+    assert busy.p_wait >= calm.p_wait - 1e-9
+    if busy.stable:
+        assert busy.wait_mean_s >= calm.wait_mean_s - 1e-9
+    # Goodput is monotone too: extra offered load never reduces
+    # completions (it saturates, it does not regress).
+    assert busy.goodput_rps >= calm.goodput_rps - 1e-9
+
+
+@given(
+    arrival=rates, service=services,
+    thin1=st.floats(0.0, 1.0), thin2=st.floats(0.0, 1.0),
+    servers=st.integers(1, 64),
+)
+@settings(max_examples=200)
+def test_cache_hits_never_hurt(arrival, service, thin1, thin2, servers):
+    lo, hi = sorted((thin1, thin2))
+    cold = estimate(arrival, service, servers, thinning=lo)
+    warm = estimate(arrival, service, servers, thinning=hi)
+    assert warm.utilization <= cold.utilization + 1e-12
+    assert warm.goodput_rps >= cold.goodput_rps - 1e-9
+
+
+@given(
+    span=st.floats(0.0, 100.0), work=st.floats(0.0, 1000.0),
+    servers=st.integers(1, 256), extra=st.integers(1, 256),
+    tail=st.floats(0.0, 1.0),
+)
+def test_finite_replay_wall_monotone_in_servers(
+    span, work, servers, extra, tail
+):
+    slow = finite_run_wall_s(span, work, servers, tail_service_s=tail)
+    fast = finite_run_wall_s(span, work, servers + extra, tail_service_s=tail)
+    assert fast <= slow + 1e-12
+    assert fast >= span  # arrivals bound every fleet

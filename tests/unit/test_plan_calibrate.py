@@ -1,0 +1,107 @@
+"""Unit tests for cost-vector extraction and persistence (one real
+calibration simulation at 1/64 scale; everything else is cache plumbing).
+"""
+
+import pytest
+
+from repro.bench.runner import ResultCache, register_run_hook, unregister_run_hook
+from repro.plan.calibrate import (
+    CAL_PREFIX,
+    CALIBRATION_RUNS,
+    COST_VECTOR_SCHEMA,
+    CostVector,
+    calibratable_ids,
+    calibrate,
+    calibrate_many,
+    load_calibrated,
+    measure_cost_vector,
+)
+
+SCALE = 1 / 64
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return measure_cost_vector("fig3", SCALE)
+
+
+class TestMeasure:
+    def test_payload_is_a_complete_vector(self, payload):
+        vec = CostVector.from_dict(payload)
+        assert vec.schema == COST_VECTOR_SCHEMA
+        assert vec.exp_id == "fig3" and vec.app == "hotspot"
+        assert vec.scale == SCALE
+
+    def test_counters_are_physical(self, payload):
+        vec = CostVector.from_dict(payload)
+        assert vec.service_time_s > 0
+        assert vec.hbm_bytes > 0
+        assert vec.epochs > 0
+        assert 0.0 < vec.checkpoint_suffix_fraction <= 1.0
+        assert vec.working_set_bytes > 0
+        assert vec.gpu_capacity_bytes > 0
+
+    def test_embedded_constants_are_positive(self, payload):
+        vec = CostVector.from_dict(payload)
+        for name in (
+            "hbm_bw", "ddr_bw", "c2c_h2d_bw", "c2c_d2h_bw",
+            "gpu_fault_cost", "cpu_fault_cost", "far_fault_cost",
+        ):
+            assert getattr(vec, name) > 0
+
+    def test_unknown_experiment_lists_calibratable(self):
+        with pytest.raises(KeyError, match="fig3"):
+            measure_cost_vector("table1", SCALE)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, payload):
+        vec = CostVector.from_dict(payload)
+        assert CostVector.from_dict(vec.to_dict()) == vec
+
+    def test_schema_mismatch_rejected(self, payload):
+        stale = dict(payload, schema=COST_VECTOR_SCHEMA + 1)
+        with pytest.raises(ValueError, match="schema"):
+            CostVector.from_dict(stale)
+
+    def test_unknown_keys_ignored(self, payload):
+        extended = dict(payload, future_field=123)
+        assert CostVector.from_dict(extended) == CostVector.from_dict(payload)
+
+
+class TestPersistence:
+    def test_calibrate_simulates_once_then_caches(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        seen = []
+        register_run_hook(seen.append)
+        try:
+            first = calibrate("fig3", scale=SCALE, cache=cache)
+            second = calibrate("fig3", scale=SCALE, cache=cache)
+        finally:
+            unregister_run_hook(seen.append)
+        assert first == second
+        assert [r.cached for r in seen] == [False, True]
+        assert all(r.exp_id == CAL_PREFIX + "fig3" for r in seen)
+
+    def test_load_calibrated_never_simulates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert load_calibrated("fig3", scale=SCALE, cache=cache) is None
+        calibrate("fig3", scale=SCALE, cache=cache)
+        vec = load_calibrated("fig3", scale=SCALE, cache=cache)
+        assert vec is not None and vec.exp_id == "fig3"
+        # A different scale is a different entry: still a miss.
+        assert load_calibrated("fig3", scale=1.0, cache=cache) is None
+
+    def test_calibrate_many_validates_ids_upfront(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(KeyError, match="nope"):
+            calibrate_many(["fig3", "nope"], scale=SCALE, cache=cache)
+
+
+def test_every_figure_has_a_spec():
+    assert set(calibratable_ids()) == set(CALIBRATION_RUNS)
+    for fig in ("fig3", "fig9", "fig12", "fig13", "sec512"):
+        assert fig in CALIBRATION_RUNS
+    # Aggregate experiments deliberately have no single representative.
+    for agg in ("table1", "table2", "sec21", "topo_scaling"):
+        assert agg not in CALIBRATION_RUNS

@@ -1,0 +1,196 @@
+"""Unit tests for the analytic service-time model (decompose →
+re-compose, spill shifting, mix composition, superchip roofline)."""
+
+import pytest
+
+from repro.plan.calibrate import COST_VECTOR_SCHEMA, CostVector
+from repro.plan.model import (
+    MixModel,
+    ServiceTerms,
+    WorkloadModel,
+    parse_mix,
+)
+from repro.sim.config import SystemConfig
+
+GiB = 1 << 30
+
+
+def make_vector(exp_id="figX", *, config=None, **overrides) -> CostVector:
+    """Hand-built vector whose embedded constants match ``config``
+    (defaults to the paper testbed), so the round trip is checkable."""
+    cfg = config or SystemConfig.paper_gh200()
+    base = dict(
+        schema=COST_VECTOR_SCHEMA,
+        exp_id=exp_id,
+        app="synthetic",
+        mode="system",
+        scale=1.0,
+        page_size=65536,
+        migration=True,
+        oversubscription=1.0,
+        service_time_s=1.0,
+        wall_s=0.1,
+        epochs=4,
+        cpu_s=0.2,
+        epoch_cpu_s=0.05,
+        checkpoint_suffix_fraction=0.75,
+        hbm_bytes=100 * GiB,
+        ddr_bytes=10 * GiB,
+        c2c_h2d_bytes=5 * GiB,
+        c2c_d2h_bytes=2 * GiB,
+        fabric_bytes=0,
+        migrated_bytes=GiB,
+        eviction_bytes=0,
+        gpu_faults=10_000,
+        far_faults=500,
+        cpu_faults=2_000,
+        pages_migrated=16_384,
+        pages_evicted=0,
+        working_set_bytes=64 * GiB,
+        gpu_capacity_bytes=90 * GiB,
+        hbm_bw=cfg.hbm_bandwidth,
+        ddr_bw=cfg.cpu_memory_bandwidth,
+        c2c_h2d_bw=cfg.c2c_h2d_bandwidth,
+        c2c_d2h_bw=cfg.c2c_d2h_bandwidth,
+        gpu_fault_cost=cfg.gpu_replayable_fault_cost,
+        cpu_fault_cost=cfg.cpu_fault_cost,
+        far_fault_cost=cfg.managed_farfault_cost,
+    )
+    base.update(overrides)
+    return CostVector(**base)
+
+
+class TestParseMix:
+    def test_weighted_pair(self):
+        assert parse_mix("fig12:0.6,fig13:0.4") == {
+            "fig12": 0.6,
+            "fig13": 0.4,
+        }
+
+    def test_bare_id_gets_weight_one(self):
+        assert parse_mix("fig9") == {"fig9": 1.0}
+
+    def test_repeated_id_accumulates(self):
+        assert parse_mix("a:1,a:2") == {"a": 3.0}
+
+    def test_whitespace_and_empty_parts_tolerated(self):
+        assert parse_mix(" a:1 , , b:2 ") == {"a": 1.0, "b": 2.0}
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            parse_mix("a:zero")
+        with pytest.raises(ValueError):
+            parse_mix("a:-1")
+        with pytest.raises(ValueError):
+            parse_mix("a:0")
+        with pytest.raises(ValueError):
+            parse_mix(",")
+
+
+class TestDecomposeRecompose:
+    def test_round_trip_is_exact_at_calibration_config(self):
+        vec = make_vector()
+        model = WorkloadModel(vec)
+        predicted = model.predict_service_time(SystemConfig.paper_gh200())
+        assert predicted == pytest.approx(vec.service_time_s, rel=1e-12)
+
+    def test_calibration_terms_sum_to_measurement(self):
+        t = WorkloadModel(make_vector()).calibration_terms()
+        assert t.hbm_s + t.ddr_s + t.c2c_s + t.fault_s + t.base_s == (
+            pytest.approx(1.0, rel=1e-12)
+        )
+
+    def test_faster_hbm_shortens_the_prediction(self):
+        vec = make_vector()
+        cfg = SystemConfig.paper_gh200()
+        faster = SystemConfig.paper_gh200(
+            hbm_bandwidth=cfg.hbm_bandwidth * 2
+        )
+        model = WorkloadModel(vec)
+        assert model.predict_service_time(faster) < (
+            model.predict_service_time(cfg)
+        )
+
+    def test_roofline_floor_binds_when_residual_is_negative(self):
+        # A tier term alone exceeding the linear sum must win.
+        t = ServiceTerms(
+            hbm_s=1.0, ddr_s=0.0, c2c_s=0.0, fault_s=0.0, base_s=-0.5
+        )
+        assert t.total_s == 1.0
+
+
+class TestOversubscriptionSpill:
+    def test_raising_ratio_moves_hbm_bytes_to_c2c(self):
+        vec = make_vector()
+        model = WorkloadModel(vec)
+        at_cal = model.predict_terms(oversubscription=1.0)
+        spilled = model.predict_terms(oversubscription=2.0)
+        assert spilled.hbm_s == pytest.approx(at_cal.hbm_s / 2, rel=1e-9)
+        assert spilled.c2c_s > at_cal.c2c_s
+        # The spill re-prices at the slower link: total must rise.
+        assert spilled.total_s > at_cal.total_s
+
+    def test_ratio_below_one_is_no_spill(self):
+        model = WorkloadModel(make_vector())
+        assert model.predict_terms(oversubscription=0.5).hbm_s == (
+            pytest.approx(model.predict_terms(oversubscription=1.0).hbm_s)
+        )
+
+    def test_lowering_below_calibration_pulls_bytes_back(self):
+        # Calibrated at R=2 (half the accesses already spilled); a plan
+        # at R=1 moves them back onto HBM.
+        vec = make_vector(oversubscription=2.0)
+        model = WorkloadModel(vec)
+        relieved = model.predict_terms(oversubscription=1.0)
+        spilled = model.predict_terms(oversubscription=2.0)
+        assert relieved.hbm_s > spilled.hbm_s
+        assert relieved.c2c_s < spilled.c2c_s
+
+
+class TestCheckpoint:
+    def test_checkpoint_scales_by_suffix_fraction(self):
+        model = WorkloadModel(make_vector(checkpoint_suffix_fraction=0.75))
+        full = model.predict_service_time()
+        suffix = model.predict_service_time(checkpoint=True)
+        assert suffix == pytest.approx(0.75 * full, rel=1e-12)
+
+
+class TestMixModel:
+    def test_requires_all_vectors(self):
+        with pytest.raises(KeyError):
+            MixModel({"a": make_vector("a")}, {"a": 1.0, "b": 1.0})
+
+    def test_moments_blend_by_weight(self):
+        vecs = {
+            "fast": make_vector("fast", service_time_s=1.0),
+            "slow": make_vector("slow", service_time_s=3.0),
+        }
+        mix = MixModel(vecs, {"fast": 0.5, "slow": 0.5})
+        mean, _, scv = mix.service_moments()
+        assert mean == pytest.approx(2.0, rel=1e-9)
+        assert scv == pytest.approx(0.25, rel=1e-6)
+        assert mix.service_percentile(0.99) == pytest.approx(3.0, rel=1e-9)
+
+    def test_superchip_rate_reports_limiting_tier(self):
+        cfg = SystemConfig.paper_gh200()
+        # All traffic on DDR: the CPU memory system must be the binding
+        # roofline, at exactly bw / bytes-per-request.
+        vec = make_vector(
+            hbm_bytes=0, c2c_h2d_bytes=0, c2c_d2h_bytes=0,
+            ddr_bytes=10 * GiB,
+        )
+        rate, limiting = MixModel({"x": vec}, {"x": 1.0}).superchip_rate(cfg)
+        assert limiting == "ddr"
+        assert rate == pytest.approx(
+            cfg.cpu_memory_bandwidth / (10 * GiB), rel=1e-9
+        )
+
+    def test_superchip_rate_averages_over_the_mix(self):
+        heavy = make_vector("heavy", ddr_bytes=20 * GiB)
+        light = make_vector("light", ddr_bytes=0)
+        solo, _ = MixModel({"heavy": heavy}, {"heavy": 1.0}).superchip_rate()
+        blended, _ = MixModel(
+            {"heavy": heavy, "light": light},
+            {"heavy": 0.5, "light": 0.5},
+        ).superchip_rate()
+        assert blended >= solo

@@ -1,0 +1,138 @@
+"""Unit tests for the observability satellites the planner consumes:
+histogram second moments, ServiceMetrics rates, traffic service
+summaries and the machine-readable scaling table."""
+
+import pytest
+
+from repro.cluster.traffic import _service_summary, scaling_table_json
+from repro.profiling.counters import Histogram
+from repro.serve.metrics import ServiceMetrics
+
+
+class TestHistogramMoments:
+    def test_exact_second_moment(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.mean == pytest.approx(2.0)
+        assert h.second_moment() == pytest.approx(14.0 / 3.0)
+
+    def test_scv_of_constant_is_zero(self):
+        h = Histogram()
+        for _ in range(10):
+            h.record(0.25)
+        assert h.scv() == pytest.approx(0.0, abs=1e-12)
+
+    def test_scv_matches_definition(self):
+        h = Histogram()
+        values = [0.1, 0.4, 0.4, 1.1]
+        for v in values:
+            h.record(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert h.scv() == pytest.approx(var / mean**2, rel=1e-9)
+
+    def test_empty_histogram_is_degenerate(self):
+        h = Histogram()
+        assert h.second_moment() == 0.0
+        assert h.scv() == 0.0
+
+
+class TestServiceMetricsRates:
+    def test_arrival_rate_counts_submissions(self):
+        m = ServiceMetrics()
+        m.started_at -= 10.0  # pretend 10 s of uptime
+        m.submitted = 50
+        assert m.arrival_rate() == pytest.approx(5.0, rel=0.05)
+
+    def test_service_time_moments_from_exec_histogram(self):
+        m = ServiceMetrics()
+        for v in (0.1, 0.3):
+            m.exec_latency.record(v)
+        mean, m2 = m.service_time_moments()
+        assert mean == pytest.approx(0.2)
+        assert m2 == pytest.approx((0.01 + 0.09) / 2)
+
+    def test_snapshot_carries_rates_block(self):
+        m = ServiceMetrics()
+        m.submitted = 3
+        m.exec_latency.record(0.5)
+        rates = m.snapshot()["rates"]
+        assert set(rates) == {
+            "arrival_rps", "service_mean_s", "service_m2_s2", "service_scv",
+        }
+        assert rates["service_mean_s"] == pytest.approx(0.5)
+
+
+def fake_replica_metrics():
+    return {
+        "r0": {
+            "jobs": {"executed": 10},
+            "latency_s": {"execution": {"mean": 0.2}},
+            "workers": {"count": 2},
+        },
+        "r1": {
+            "jobs": {"executed": 30},
+            "latency_s": {"execution": {"mean": 0.1}},
+            "workers": {"count": 2},
+        },
+    }
+
+
+class TestServiceSummary:
+    def test_per_replica_utilization(self):
+        s = _service_summary(fake_replica_metrics(), wall_s=10.0)
+        # r0: 10 jobs x 0.2 s over 20 server-seconds.
+        assert s["per_replica"]["r0"]["utilization"] == pytest.approx(0.1)
+        assert s["per_replica"]["r1"]["utilization"] == pytest.approx(0.15)
+        # Fleet: 5 busy seconds over 40 server-seconds.
+        assert s["utilization"] == pytest.approx(0.125)
+        assert s["mean_service_s"] == pytest.approx(5.0 / 40)
+
+    def test_zero_wall_yields_zero_utilization(self):
+        s = _service_summary(fake_replica_metrics(), wall_s=0.0)
+        assert s["utilization"] == 0.0
+
+
+class TestScalingTableJson:
+    def make_report(self, replicas):
+        lat = {"p50": 0.1, "p99": 0.4, "p999": 0.5, "mean": 0.15}
+        return {
+            "mix": {"requests": 100, "seed": 1},
+            "replicas": replicas,
+            "offered": 100,
+            "unique_keys": 60,
+            "completed": 100,
+            "failed": 0,
+            "shed": 0,
+            "wall_s": 4.0 / replicas,
+            "goodput_rps": 25.0 * replicas,
+            "service": {
+                "utilization": 0.9,
+                "mean_service_s": 0.05,
+                "per_replica": {},
+            },
+            "routing": {"vnodes": 64, "workers_per_replica": 2},
+            "classes": {
+                "interactive": {"latency_s": lat},
+                "batch": {"latency_s": lat},
+            },
+        }
+
+    def test_table_shape(self):
+        table = scaling_table_json(
+            [self.make_report(1), self.make_report(2)]
+        )
+        assert table["schema"] == 1
+        assert table["vnodes"] == 64
+        assert table["workers_per_replica"] == 2
+        assert [r["replicas"] for r in table["rows"]] == [1, 2]
+        row = table["rows"][0]
+        assert row["utilization"] == 0.9
+        assert row["mean_service_s"] == 0.05
+        assert row["interactive"]["p99_s"] == 0.4
+        assert row["batch"]["p50_s"] == 0.1
+
+    def test_empty_reports(self):
+        table = scaling_table_json([])
+        assert table["rows"] == [] and table["mix"] == {}

@@ -1,0 +1,178 @@
+"""Unit tests for the planner's queueing layer (Erlang C edges,
+Allen–Cunneen behaviour, mixture moments, finite-replay bound)."""
+
+import math
+
+import pytest
+
+from repro.plan.queueing import (
+    erlang_c,
+    estimate,
+    finite_run_wall_s,
+    geometric_burst_arrival_scv,
+    mixture_moments,
+    mixture_percentile,
+)
+
+
+def naive_erlang_c(c: int, a: float) -> float:
+    """Textbook a^k/k! formulation — only usable for small c."""
+    rho = a / c
+    top = a**c / math.factorial(c) / (1 - rho)
+    bottom = sum(a**k / math.factorial(k) for k in range(c)) + top
+    return top / bottom
+
+
+class TestErlangC:
+    def test_single_server_reduces_to_rho(self):
+        for rho in (0.1, 0.5, 0.9, 0.999):
+            assert erlang_c(1, rho) == pytest.approx(rho, rel=1e-12)
+
+    def test_matches_naive_formula_for_small_fleets(self):
+        for c, a in [(2, 1.0), (4, 3.0), (10, 8.5), (50, 40.0)]:
+            assert erlang_c(c, a) == pytest.approx(
+                naive_erlang_c(c, a), rel=1e-10
+            )
+
+    def test_saturation_waits_with_probability_one(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 17.0) == 1.0
+
+    def test_zero_offered_load_never_waits(self):
+        assert erlang_c(8, 0.0) == 0.0
+
+    def test_utilization_approaching_one_tends_to_one(self):
+        # rho -> 1 from below: wait probability climbs toward 1.
+        probs = [erlang_c(4, 4.0 * rho) for rho in (0.5, 0.9, 0.99, 0.9999)]
+        assert probs == sorted(probs)
+        assert probs[-1] > 0.999
+
+    def test_huge_fleet_does_not_overflow(self):
+        # The naive factorial form overflows past a ~ 700; the
+        # recurrence must stay finite and sane (this is the exact
+        # regime 'plan size' searches through).
+        p = erlang_c(131072, 2390.0)
+        assert p == 0.0  # vastly overprovisioned: nobody waits
+        p = erlang_c(2400, 2390.0)
+        assert 0.0 < p < 1.0 and math.isfinite(p)
+
+    def test_monotone_in_offered_load(self):
+        probs = [erlang_c(8, a) for a in (1.0, 3.0, 5.0, 7.0, 7.9)]
+        assert probs == sorted(probs)
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+
+
+class TestEstimate:
+    def test_mm1_known_mean_wait(self):
+        # M/M/1 with lam=0.5, mu=1: Wq = rho/(mu - lam) = 1.0 exactly.
+        est = estimate(0.5, 1.0, 1, service_scv=1.0)
+        assert est.p_wait == pytest.approx(0.5, rel=1e-12)
+        assert est.wait_mean_s == pytest.approx(1.0, rel=1e-12)
+        assert est.sojourn_mean_s == pytest.approx(2.0, rel=1e-12)
+
+    def test_deterministic_service_halves_mm1_wait(self):
+        # Allen-Cunneen: cs2=0 halves the Poisson-arrival wait.
+        md1 = estimate(0.5, 1.0, 1, service_scv=0.0)
+        mm1 = estimate(0.5, 1.0, 1, service_scv=1.0)
+        assert md1.wait_mean_s == pytest.approx(
+            mm1.wait_mean_s / 2, rel=1e-12
+        )
+
+    def test_zero_service_time_short_circuits(self):
+        est = estimate(100.0, 0.0, 2)
+        assert est.stable and est.p_wait == 0.0
+        assert est.p99_s == 0.0
+        assert est.goodput_rps == 100.0
+
+    def test_zero_arrivals_short_circuits(self):
+        est = estimate(0.0, 1.0, 2)
+        assert est.stable and est.utilization == 0.0
+
+    def test_saturation_reports_unstable_and_caps_goodput(self):
+        est = estimate(10.0, 1.0, 4)  # offered 10 Erlangs on 4 servers
+        assert not est.stable
+        assert est.p99_s == math.inf
+        assert est.goodput_rps == pytest.approx(4.0)
+
+    def test_thinning_rescues_a_saturated_fleet(self):
+        # 60% cache hit rate turns 10 offered into 4 effective Erlangs.
+        est = estimate(10.0, 1.0, 5, thinning=0.6)
+        assert est.stable
+        assert est.effective_rps == pytest.approx(4.0)
+        assert est.goodput_rps == pytest.approx(10.0)
+
+    def test_percentiles_are_ordered(self):
+        est = estimate(3.0, 1.0, 4, service_scv=0.5)
+        assert 0.0 <= est.wait_p50_s <= est.wait_p99_s
+        assert est.p50_s <= est.p99_s
+
+    def test_burstier_arrivals_wait_longer(self):
+        calm = estimate(3.0, 1.0, 4, arrival_scv=1.0)
+        bursty = estimate(
+            3.0, 1.0, 4, arrival_scv=geometric_burst_arrival_scv(32)
+        )
+        assert bursty.wait_mean_s > calm.wait_mean_s
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            estimate(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            estimate(1.0, 1.0, 2, thinning=1.5)
+        with pytest.raises(ValueError):
+            estimate(-1.0, 1.0, 2)
+
+
+class TestMixture:
+    def test_moments_of_single_class_are_degenerate(self):
+        mean, m2, scv = mixture_moments([0.25], [3.0])
+        assert mean == 0.25 and m2 == 0.0625 and scv == 0.0
+
+    def test_two_class_mixture(self):
+        mean, m2, scv = mixture_moments([1.0, 3.0], [0.5, 0.5])
+        assert mean == pytest.approx(2.0)
+        assert m2 == pytest.approx(5.0)
+        assert scv == pytest.approx(0.25)
+
+    def test_weights_are_normalised(self):
+        assert mixture_moments([1.0, 3.0], [2.0, 2.0]) == mixture_moments(
+            [1.0, 3.0], [0.5, 0.5]
+        )
+
+    def test_percentile_picks_sorted_class(self):
+        times, weights = [0.1, 0.9], [0.6, 0.4]
+        assert mixture_percentile(times, weights, 0.5) == 0.1
+        assert mixture_percentile(times, weights, 0.99) == 0.9
+
+    def test_rejects_empty_and_zero_weights(self):
+        with pytest.raises(ValueError):
+            mixture_moments([], [])
+        with pytest.raises(ValueError):
+            mixture_moments([1.0], [0.0])
+
+
+class TestFiniteRunWall:
+    def test_arrival_bound_when_fleet_is_fast(self):
+        assert finite_run_wall_s(10.0, 5.0, 8) == pytest.approx(10.0)
+
+    def test_capacity_bound_when_fleet_is_slow(self):
+        assert finite_run_wall_s(1.0, 40.0, 4) == pytest.approx(10.0)
+
+    def test_tail_adds_on_top(self):
+        assert finite_run_wall_s(1.0, 40.0, 4, tail_service_s=0.5) == (
+            pytest.approx(10.5)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            finite_run_wall_s(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            finite_run_wall_s(-1.0, 1.0, 1)
+
+
+def test_burst_scv_poisson_limit():
+    assert geometric_burst_arrival_scv(1) == 1.0
+    with pytest.raises(ValueError):
+        geometric_burst_arrival_scv(0.5)

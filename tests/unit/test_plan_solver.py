@@ -1,0 +1,103 @@
+"""Unit tests for the SLO-inversion solver."""
+
+import math
+
+import pytest
+
+from repro.plan.queueing import estimate
+from repro.plan.solver import SizingResult, solve_min_replicas
+
+
+def estimator(arrival_rps, service_mean_s, **kw):
+    return lambda servers: estimate(
+        arrival_rps, service_mean_s, servers, **kw
+    )
+
+
+class TestSolver:
+    def test_finds_minimal_qualifying_fleet(self):
+        fn = estimator(100.0, 0.1, service_scv=1.0)
+        result = solve_min_replicas(
+            fn, arrival_rps=100.0, slo_p99_s=0.5, workers_per_replica=1,
+            p99_floor_s=0.1,
+        )
+        assert result.slo_feasible and result.limiting == "slo"
+        # Minimality: the answer meets the SLO, one fewer does not.
+        assert fn(result.servers).p99_s <= 0.5
+        below = fn(result.servers - 1)
+        assert (not below.stable) or below.p99_s > 0.5
+
+    def test_stability_floor_is_offered_load_plus_one(self):
+        # 100 rps x 0.1 s = 10 Erlangs: 10 servers saturate, 11 don't.
+        result = solve_min_replicas(
+            estimator(100.0, 0.1), arrival_rps=100.0, slo_p99_s=10.0,
+            workers_per_replica=1,
+        )
+        assert result.stability_floor == 11
+        assert result.replicas >= 11
+
+    def test_workers_multiply_servers(self):
+        one = solve_min_replicas(
+            estimator(100.0, 0.1), arrival_rps=100.0, slo_p99_s=0.5,
+            workers_per_replica=1, p99_floor_s=0.1,
+        )
+        four = solve_min_replicas(
+            estimator(100.0, 0.1), arrival_rps=100.0, slo_p99_s=0.5,
+            workers_per_replica=4, p99_floor_s=0.1,
+        )
+        assert four.replicas <= one.replicas
+        assert four.servers == four.replicas * 4
+
+    def test_infeasible_slo_reports_service_floor(self):
+        # Service p99 of 1.0 s can never meet a 0.25 s SLO.
+        result = solve_min_replicas(
+            estimator(50.0, 0.8, service_p99_s=1.0),
+            arrival_rps=50.0, slo_p99_s=0.25, workers_per_replica=1,
+            p99_floor_s=1.0,
+        )
+        assert not result.slo_feasible
+        assert result.limiting == "service-floor"
+        assert result.estimate.stable
+        assert result.estimate.p_wait <= 0.01
+        assert any("unachievable" in n for n in result.notes)
+
+    def test_search_cap_is_reported(self):
+        result = solve_min_replicas(
+            estimator(1000.0, 1.0), arrival_rps=1000.0, slo_p99_s=1.5,
+            workers_per_replica=1, p99_floor_s=1.0, max_replicas=64,
+        )
+        assert not result.slo_feasible
+        assert result.limiting == "search-cap"
+        assert result.replicas == 64
+
+    def test_superchips_from_roofline_rate(self):
+        result = solve_min_replicas(
+            estimator(100.0, 0.01), arrival_rps=100.0, slo_p99_s=1.0,
+            superchip_rate_rps=30.0,
+        )
+        assert result.superchips == math.ceil(100.0 / 30.0)
+
+    def test_superchips_default_to_one(self):
+        result = solve_min_replicas(
+            estimator(10.0, 0.01), arrival_rps=10.0, slo_p99_s=1.0,
+        )
+        assert result.superchips == 1
+
+    def test_rejects_bad_inputs(self):
+        fn = estimator(1.0, 0.1)
+        with pytest.raises(ValueError):
+            solve_min_replicas(fn, arrival_rps=0.0, slo_p99_s=1.0)
+        with pytest.raises(ValueError):
+            solve_min_replicas(fn, arrival_rps=1.0, slo_p99_s=0.0)
+        with pytest.raises(ValueError):
+            solve_min_replicas(
+                fn, arrival_rps=1.0, slo_p99_s=1.0, workers_per_replica=0
+            )
+
+    def test_result_is_frozen(self):
+        result = solve_min_replicas(
+            estimator(10.0, 0.01), arrival_rps=10.0, slo_p99_s=1.0,
+        )
+        assert isinstance(result, SizingResult)
+        with pytest.raises(Exception):
+            result.replicas = 0

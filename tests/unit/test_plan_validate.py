@@ -1,0 +1,209 @@
+"""Unit tests for planner↔measurement cross-validation: routed work,
+finite-replay goodput prediction, the scaling gate and size agreement."""
+
+import pytest
+
+from repro.cluster.traffic import TrafficMix, generate_stream
+from repro.plan.validate import (
+    calibrate_overhead_s,
+    measured_min_replicas,
+    predict_goodput_rps,
+    predicted_min_replicas,
+    routed_work_s,
+    stream_stats,
+    validate_scaling,
+)
+
+MIX = TrafficMix(
+    requests=400, seed=7, hot_keys=20, tail_keys=200,
+    cost_ms_min=5.0, cost_ms_max=10.0, offered_rate=4000.0, burst_mean=32,
+)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return stream_stats(MIX)
+
+
+def fake_table(stats, replica_counts=(1, 2, 4), *, workers=2, vnodes=64):
+    """A measured-looking table manufactured from the predictor itself
+    (zero overhead), so a correct gate must pass it."""
+    rows = []
+    for i, n in enumerate(replica_counts):
+        pred = predict_goodput_rps(stats, n, workers, vnodes=vnodes)
+        p99 = 2.0 / n
+        rows.append(
+            {
+                "replicas": n,
+                "offered": stats.requests,
+                "unique_keys": stats.unique_keys,
+                "completed": stats.requests,
+                "shed": 0,
+                "failed": 0,
+                "wall_s": pred["predicted_wall_s"],
+                "goodput_rps": pred["predicted_goodput_rps"],
+                "utilization": pred["predicted_utilization"],
+                "mean_service_s": stats.miss_mean_s,
+                "interactive": {
+                    "p50_s": p99 / 4, "p99_s": p99, "p999_s": p99,
+                    "mean_s": p99 / 3,
+                },
+                "batch": {
+                    "p50_s": p99 / 2, "p99_s": 2 * p99, "p999_s": 2 * p99,
+                    "mean_s": p99,
+                },
+            }
+        )
+    return {
+        "schema": 1,
+        "mix": MIX.describe(),
+        "vnodes": vnodes,
+        "workers_per_replica": workers,
+        "rows": rows,
+    }
+
+
+class TestStreamStats:
+    def test_matches_generated_stream(self, stats):
+        stream = generate_stream(MIX)
+        assert stats.requests == len(stream)
+        assert stats.unique_keys == stream.unique_keys
+        assert stats.hit_fraction == pytest.approx(
+            1.0 - stream.unique_keys / len(stream)
+        )
+        assert stats.arrival_span_s == pytest.approx(
+            float(stream.burst_gaps_s.sum())
+        )
+
+    def test_work_is_mean_times_unique(self, stats):
+        assert stats.miss_work_s == pytest.approx(
+            stats.miss_mean_s * stats.unique_keys
+        )
+        # Costs are bounded by the mix's configured range.
+        per_key = [c for _, c in stats.key_costs]
+        assert min(per_key) >= MIX.cost_ms_min / 1e3
+        assert max(per_key) <= MIX.cost_ms_max / 1e3
+
+
+class TestRoutedWork:
+    def test_single_replica_owns_everything(self, stats):
+        per = routed_work_s(stats, 1)
+        assert set(per) == {"r0"}
+        jobs, work = per["r0"]
+        assert jobs == stats.unique_keys
+        assert work == pytest.approx(stats.miss_work_s)
+
+    def test_partition_is_exact(self, stats):
+        for n in (2, 3, 4, 8):
+            per = routed_work_s(stats, n)
+            assert set(per) == {f"r{i}" for i in range(n)}
+            assert sum(j for j, _ in per.values()) == stats.unique_keys
+            assert sum(w for _, w in per.values()) == pytest.approx(
+                stats.miss_work_s
+            )
+
+    def test_routing_is_deterministic(self, stats):
+        assert routed_work_s(stats, 4) == routed_work_s(stats, 4)
+
+    def test_vnodes_change_the_partition(self, stats):
+        assert routed_work_s(stats, 4, vnodes=1) != routed_work_s(
+            stats, 4, vnodes=64
+        )
+
+
+class TestPredictGoodput:
+    def test_single_replica_wall_is_work_over_workers(self, stats):
+        pred = predict_goodput_rps(stats, 1, 2)
+        expected = max(
+            stats.arrival_span_s, stats.miss_work_s / 2
+        ) + stats.miss_mean_s
+        assert pred["predicted_wall_s"] == pytest.approx(
+            expected, abs=1e-3
+        )
+
+    def test_overhead_inflates_the_wall(self, stats):
+        base = predict_goodput_rps(stats, 1, 2)
+        slow = predict_goodput_rps(stats, 1, 2, overhead_s=0.05)
+        assert slow["predicted_wall_s"] > base["predicted_wall_s"]
+
+    def test_imbalance_reported_above_one(self, stats):
+        pred = predict_goodput_rps(stats, 4, 2)
+        assert pred["routing_imbalance"] >= 1.0
+
+    def test_overhead_calibration_recovers_dispatch_cost(self, stats):
+        row = {"mean_service_s": stats.miss_mean_s + 0.002}
+        assert calibrate_overhead_s(stats, row) == pytest.approx(0.002)
+        # Never negative, even if measured mean is below the seed's.
+        assert calibrate_overhead_s(
+            stats, {"mean_service_s": 0.0}
+        ) == 0.0
+
+
+class TestValidateScaling:
+    def test_self_consistent_table_passes(self, stats):
+        report = validate_scaling(fake_table(stats))
+        assert report["ok"], report["failures"]
+        assert [r["within_tolerance"] for r in report["rows"]] == [True] * 3
+        assert report["rows"][0]["calibration_row"]
+
+    def test_throughput_gate_catches_a_bad_row(self, stats):
+        table = fake_table(stats)
+        table["rows"][2]["goodput_rps"] *= 0.7  # 30% off
+        report = validate_scaling(table)
+        assert not report["ok"]
+        assert any("replicas=4" in f for f in report["failures"])
+
+    def test_goodput_regression_is_a_failure(self, stats):
+        table = fake_table(stats)
+        # More replicas, much less goodput: ordering violation even if
+        # each row individually matched a (bogus) prediction.
+        table["rows"][2]["goodput_rps"] = (
+            table["rows"][1]["goodput_rps"] * 0.5
+        )
+        report = validate_scaling(table)
+        assert any("dropped" in f for f in report["failures"])
+
+    def test_p99_rise_is_a_failure(self, stats):
+        table = fake_table(stats)
+        table["rows"][2]["batch"]["p99_s"] = (
+            table["rows"][1]["batch"]["p99_s"] * 5.0
+        )
+        report = validate_scaling(table)
+        assert any("p99 rose" in f for f in report["failures"])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            validate_scaling({"rows": []})
+
+
+class TestSizeAgreement:
+    def test_predicted_and_measured_agree_on_fake_table(self, stats):
+        table = fake_table(stats)
+        best = max(r["goodput_rps"] for r in table["rows"])
+        target = min(10_000.0, best)
+        predicted = predicted_min_replicas(
+            stats, rate_rps=target, workers_per_replica=2
+        )
+        measured = measured_min_replicas(table, rate_rps=target)
+        assert predicted == measured == 4
+
+    def test_modest_rate_needs_fewer_replicas(self, stats):
+        table = fake_table(stats)
+        low = table["rows"][0]["goodput_rps"] * 0.9
+        assert measured_min_replicas(table, rate_rps=low) == 1
+        assert predicted_min_replicas(
+            stats, rate_rps=low, workers_per_replica=2
+        ) == 1
+
+    def test_slo_filter_skips_slow_rows(self, stats):
+        table = fake_table(stats)
+        low = table["rows"][0]["goodput_rps"] * 0.9
+        # Batch p99 at 1 replica is 4.0 s; demand better than that.
+        assert measured_min_replicas(
+            table, rate_rps=low, slo_p99_s=2.5
+        ) == 2
+
+    def test_empty_table_returns_none(self):
+        assert measured_min_replicas(
+            {"rows": []}, rate_rps=1.0
+        ) is None

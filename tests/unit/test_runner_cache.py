@@ -203,3 +203,131 @@ class TestCli:
         rc = cli_main(["expA"])
         assert rc == 0
         assert "fake expA" in capsys.readouterr().out
+
+
+class TestStatsNonMutating:
+    """Regression: inspecting the cache must never write.
+
+    An earlier design folded session counters into the ``_stats.json``
+    sidecar from the read path, so ``repro-bench cache stats`` rewrote
+    the sidecar (and created the cache directory) on every inspection.
+    The contract now is: only ``save_session_stats`` writes.
+    """
+
+    def _tree_state(self, root):
+        return sorted(
+            (str(p), p.stat().st_mtime_ns, p.stat().st_size)
+            for p in root.rglob("*")
+        )
+
+    def test_stats_on_absent_root_creates_nothing(self, tmp_path):
+        root = tmp_path / "never-created"
+        cache = ResultCache(root)
+        cache.misses = 3  # session counters must not leak to disk
+        cache.stats()
+        assert not root.exists()
+
+    def test_stats_leaves_populated_cache_untouched(
+        self, fake_registry, cache
+    ):
+        run_experiment_cached("expA", cache=cache, scale=1.0)
+        cache.save_session_stats()
+        before = self._tree_state(cache.root)
+        for _ in range(3):
+            stats = cache.stats()
+        assert self._tree_state(cache.root) == before
+        assert stats["lifetime_misses"] >= 1
+
+    def test_cli_stats_is_read_only(self, fake_registry, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        cli_main(["run", "expA", "--jobs", "1",
+                  "--cache-dir", str(cache_dir)])
+        capsys.readouterr()
+        before = self._tree_state(cache_dir)
+        assert cli_main(["cache", "stats",
+                         "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert self._tree_state(cache_dir) == before
+
+    def test_save_session_stats_accumulates_and_resets(self, cache):
+        cache.hits, cache.misses = 2, 5
+        cache.save_session_stats()
+        cache.hits, cache.misses = 1, 0
+        cache.save_session_stats()
+        stats = cache.stats()
+        assert (stats["lifetime_hits"], stats["lifetime_misses"]) == (3, 5)
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestRunPayloadCached:
+    def test_miss_then_hit(self, fake_registry, cache):
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return {"answer": 42}
+
+        from repro.bench.runner import run_payload_cached
+
+        first = run_payload_cached("plan_cal_x", producer, cache=cache)
+        second = run_payload_cached("plan_cal_x", producer, cache=cache)
+        assert first == second == {"answer": 42}
+        assert len(calls) == 1
+
+    def test_kwargs_key_separate_entries(self, fake_registry, cache):
+        from repro.bench.runner import run_payload_cached
+
+        a = run_payload_cached(
+            "plan_cal_x", lambda: {"v": 1}, cache=cache, scale=1.0
+        )
+        b = run_payload_cached(
+            "plan_cal_x", lambda: {"v": 2}, cache=cache, scale=0.5
+        )
+        assert (a["v"], b["v"]) == (1, 2)
+
+    def test_registry_collision_rejected(self, fake_registry, cache):
+        from repro.bench.runner import run_payload_cached
+
+        with pytest.raises(ValueError, match="collides"):
+            run_payload_cached("expA", lambda: {}, cache=cache)
+
+    def test_non_dict_payload_rejected(self, fake_registry, cache):
+        from repro.bench.runner import run_payload_cached
+
+        with pytest.raises(TypeError):
+            run_payload_cached("plan_cal_x", lambda: [1, 2], cache=cache)
+
+    def test_force_reruns(self, fake_registry, cache):
+        from repro.bench.runner import run_payload_cached
+
+        run_payload_cached("plan_cal_x", lambda: {"v": 1}, cache=cache)
+        out = run_payload_cached(
+            "plan_cal_x", lambda: {"v": 2}, cache=cache, force=True
+        )
+        assert out["v"] == 2
+
+
+class TestRunHooks:
+    def test_hooks_observe_miss_and_hit(self, fake_registry, cache):
+        from repro.bench.runner import (
+            register_run_hook,
+            unregister_run_hook,
+        )
+
+        seen = []
+        register_run_hook(seen.append)
+        try:
+            run_experiment_cached("expA", cache=cache, scale=1.0)
+            run_experiment_cached("expA", cache=cache, scale=1.0)
+        finally:
+            unregister_run_hook(seen.append)
+        assert [(r.exp_id, r.cached) for r in seen] == [
+            ("expA", False), ("expA", True),
+        ]
+        assert seen[0].wall_s >= 0.0
+        assert seen[0].kwargs == {"scale": 1.0}
+
+    def test_unregister_is_idempotent(self):
+        from repro.bench.runner import unregister_run_hook
+
+        unregister_run_hook(lambda r: None)  # never registered: no-op
