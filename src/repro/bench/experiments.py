@@ -83,7 +83,16 @@ def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {experiment_ids()}"
         ) from None
-    return fn(**kwargs)
+    # ``mem_arch`` retargets the whole experiment at a different memory
+    # architecture backend without each experiment having to thread it:
+    # every config the experiment builds inherits the default.
+    mem_arch = kwargs.pop("mem_arch", None)
+    if mem_arch is None:
+        return fn(**kwargs)
+    from .harness import default_mem_arch
+
+    with default_mem_arch(mem_arch):
+        return fn(**kwargs)
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ oversubscription ratios and page-count ratios every conclusion rests on;
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -23,6 +24,30 @@ from ..apps import get_application
 from ..core.porting import MemoryMode
 from ..core.runtime import GraceHopperSystem
 from ..sim.config import SystemConfig
+
+#: Memory-architecture backend experiments run against unless a config
+#: override names one explicitly. ``run_experiment(..., mem_arch=...)``
+#: retargets a whole experiment by swapping this default for its duration.
+_DEFAULT_MEM_ARCH = "gh200"
+
+
+@contextmanager
+def default_mem_arch(name: str):
+    """Run a block with ``name`` as the default memory architecture.
+
+    Every :func:`make_config`/:func:`make_topology_config` call inside the
+    block (and therefore every system an experiment builds) selects the
+    backend unless the caller overrides ``mem_arch`` explicitly. This is
+    how one experiment definition re-runs unchanged against each
+    registered backend.
+    """
+    global _DEFAULT_MEM_ARCH
+    previous = _DEFAULT_MEM_ARCH
+    _DEFAULT_MEM_ARCH = name
+    try:
+        yield
+    finally:
+        _DEFAULT_MEM_ARCH = previous
 
 
 @dataclass
@@ -57,6 +82,7 @@ def make_config(
     **overrides,
 ) -> SystemConfig:
     """The paper's testbed (optionally capacity-scaled)."""
+    overrides.setdefault("mem_arch", _DEFAULT_MEM_ARCH)
     if scale == 1.0:
         return SystemConfig.paper_gh200(
             page_size=page_size, migration_enable=migration, **overrides
@@ -76,6 +102,7 @@ def make_topology_config(
 ) -> SystemConfig:
     """An N-superchip node of (optionally capacity-scaled) testbed chips,
     with the same defaults :func:`make_config` uses for the paper runs."""
+    overrides.setdefault("mem_arch", _DEFAULT_MEM_ARCH)
     return SystemConfig.multi_superchip(
         n_superchips,
         scale=scale,
@@ -118,7 +145,7 @@ def run_app(
         if oversubscription <= 0:
             raise ValueError("oversubscription ratio must be positive")
         target_free = int(app.working_set_bytes() / oversubscription)
-        balloon = max(0, gh.free_gpu_memory() - target_free)
+        balloon = max(0, gh.balloon_reference_free() - target_free)
         if balloon:
             gh.install_balloon(balloon)
     if prepare is not None:

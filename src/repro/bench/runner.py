@@ -602,6 +602,15 @@ def main_run(argv: list[str] | None = None) -> int:
         "(REPRO_SANITIZE=1) in every worker; implies --force so cached "
         "results don't skip the checks",
     )
+    from ..mem.arch import architecture_descriptions, architecture_names
+
+    parser.add_argument(
+        "--mem-arch",
+        default="gh200",
+        choices=architecture_names(),
+        help="memory-architecture backend every experiment runs against "
+        "(default: gh200; see --list for the registered backends)",
+    )
     args = parser.parse_args(argv)
 
     if args.sanitize:
@@ -613,6 +622,12 @@ def main_run(argv: list[str] | None = None) -> int:
         width = max(len(e) for e in descriptions)
         for exp_id, desc in descriptions.items():
             print(f"{exp_id:<{width}}  {desc}")
+        print()
+        print("memory-architecture backends (--mem-arch):")
+        backends = architecture_descriptions()
+        bwidth = max(len(b) for b in backends)
+        for name, desc in backends.items():
+            print(f"  {name:<{bwidth}}  {desc}")
         return 0
 
     wanted = list(args.experiments)
@@ -638,13 +653,18 @@ def main_run(argv: list[str] | None = None) -> int:
     t0 = time.perf_counter()
     exit_code = 0
     failures: dict[str, str] = {}
+    # The default backend is left out of the kwargs so cache entries
+    # recorded before backends existed keep their keys.
+    run_kwargs = {"scale": args.scale}
+    if args.mem_arch != "gh200":
+        run_kwargs["mem_arch"] = args.mem_arch
     try:
         results = run_experiments_parallel(
             wanted,
             jobs=args.jobs,
             cache=cache,
             force=args.force,
-            kwargs={"scale": args.scale},
+            kwargs=run_kwargs,
             timeout=args.timeout,
             retries=args.retries,
         )

@@ -29,7 +29,13 @@ from .golden import (
     verify_experiments,
     write_golden,
 )
-from .reference import DifferentialReport, ReferenceSystem, differential_replay
+from .reference import (
+    DifferentialReport,
+    ReferenceSystem,
+    UpmReferenceSystem,
+    differential_replay,
+    reference_system_for,
+)
 from .sanitizer import InvariantViolation, MemSanitizer, sanitize_requested
 
 __all__ = [
@@ -38,10 +44,12 @@ __all__ = [
     "InvariantViolation",
     "MemSanitizer",
     "ReferenceSystem",
+    "UpmReferenceSystem",
     "compute_fingerprint",
     "differential_replay",
     "golden_kwargs",
     "load_golden",
+    "reference_system_for",
     "result_fingerprint",
     "sanitize_requested",
     "verify_experiments",

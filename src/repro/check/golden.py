@@ -36,12 +36,27 @@ GOLDEN_FORMAT = 1
 DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 
 
-def golden_kwargs(exp_id: str) -> dict:
-    """The pinned kwargs an experiment is fingerprinted at."""
+def golden_kwargs(exp_id: str, mem_arch: str = "gh200") -> dict:
+    """The pinned kwargs an experiment is fingerprinted at.
+
+    The default backend is omitted from the kwargs so the GH200 golden
+    files recorded before backends existed stay byte-identical; each
+    non-default backend gets its own golden set under
+    ``tests/golden/<backend>/``.
+    """
     kwargs: dict = {"scale": GOLDEN_SCALE}
     if exp_id == "topo_scaling":
         kwargs["superchips"] = (1, 2, 4)
+    if mem_arch != "gh200":
+        kwargs["mem_arch"] = mem_arch
     return kwargs
+
+
+def golden_dir_for(mem_arch: str, golden_dir=None) -> Path:
+    """The golden-file directory for one backend (the repository default
+    unless overridden)."""
+    base = Path(golden_dir or DEFAULT_GOLDEN_DIR)
+    return base if mem_arch == "gh200" else base / mem_arch
 
 
 def _canonical(value):
@@ -57,7 +72,7 @@ def _canonical(value):
     return value
 
 
-def result_fingerprint(result) -> dict:
+def result_fingerprint(result, mem_arch: str = "gh200") -> dict:
     """Canonical payload + digest of one :class:`ExperimentResult`."""
     payload = {
         "exp_id": result.exp_id,
@@ -72,16 +87,17 @@ def result_fingerprint(result) -> dict:
     return {
         "format": GOLDEN_FORMAT,
         "digest": digest,
-        "kwargs": _canonical(golden_kwargs(result.exp_id)),
+        "kwargs": _canonical(golden_kwargs(result.exp_id, mem_arch)),
         **payload,
     }
 
 
-def compute_fingerprint(exp_id: str) -> dict:
+def compute_fingerprint(exp_id: str, mem_arch: str = "gh200") -> dict:
     """Run ``exp_id`` at the golden configuration and fingerprint it."""
     from ..bench.experiments import run_experiment
 
-    return result_fingerprint(run_experiment(exp_id, **golden_kwargs(exp_id)))
+    kwargs = golden_kwargs(exp_id, mem_arch)
+    return result_fingerprint(run_experiment(exp_id, **kwargs), mem_arch)
 
 
 def _golden_path(exp_id: str, golden_dir) -> Path:
@@ -127,21 +143,23 @@ def _first_divergence(expected: dict, actual: dict) -> str:
 
 
 def verify_experiments(
-    exp_ids=None, *, golden_dir=None, update: bool = False
+    exp_ids=None, *, golden_dir=None, update: bool = False,
+    mem_arch: str = "gh200",
 ) -> list[dict]:
     """Check (or regenerate) golden fingerprints for ``exp_ids``.
 
     Returns one report dict per experiment with ``status`` in
     ``{"ok", "mismatch", "missing", "updated"}``; ``mismatch`` and
-    ``missing`` entries carry a ``detail`` string.
+    ``missing`` entries carry a ``detail`` string. Non-default backends
+    verify against their own golden set (``tests/golden/<backend>/``).
     """
     from ..bench.experiments import experiment_ids
 
     exp_ids = list(exp_ids) if exp_ids else experiment_ids()
-    golden_dir = Path(golden_dir or DEFAULT_GOLDEN_DIR)
+    golden_dir = golden_dir_for(mem_arch, golden_dir)
     reports = []
     for exp_id in exp_ids:
-        actual = compute_fingerprint(exp_id)
+        actual = compute_fingerprint(exp_id, mem_arch)
         expected = load_golden(exp_id, golden_dir)
         report = {"exp_id": exp_id, "digest": actual["digest"]}
         if update:
@@ -203,6 +221,15 @@ def main_verify(argv=None) -> int:
         help="run with the memory-model invariant sanitizer enabled "
         "(REPRO_SANITIZE=1)",
     )
+    from ..mem.arch import architecture_names
+
+    parser.add_argument(
+        "--mem-arch",
+        default="gh200",
+        choices=architecture_names(),
+        help="memory-architecture backend to verify; non-default "
+        "backends use tests/golden/<backend>/ (default: gh200)",
+    )
     args = parser.parse_args(argv)
 
     known = experiment_ids()
@@ -216,6 +243,7 @@ def main_verify(argv=None) -> int:
         args.experiments or None,
         golden_dir=args.golden_dir,
         update=args.update_golden,
+        mem_arch=args.mem_arch,
     )
     width = max(len(r["exp_id"]) for r in reports)
     failed = 0

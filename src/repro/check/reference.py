@@ -763,6 +763,149 @@ class ReferenceSystem:
         return len(pages)
 
 
+class UpmReferenceSystem(ReferenceSystem):
+    """Naive per-page reference for the ``upm`` backend.
+
+    Mirrors :class:`repro.mem.arch_upm.UpmArchitecture` the obvious way:
+    one pool of ``cpu + gpu`` bytes backs everything, first touch by
+    either engine lands in it at the uniform
+    :attr:`~repro.sim.config.SystemConfig.upm_fault_cost` (plus page
+    zeroing), nothing ever migrates or evicts, GPU-issued local traffic
+    counts as ``hbm_*`` and CPU-issued as ``lpddr_*``, and pinned host
+    memory is GPU-accessible zero-copy with no C2C hop. The same
+    batch-level cost expressions in the same operation order keep time
+    equality exact.
+    """
+
+    def __init__(self, config: SystemConfig | None = None):
+        super().__init__(config)
+        pool = _RefPool(
+            "UnifiedHBM",
+            self.config.cpu_memory_bytes + self.config.gpu_memory_bytes,
+        )
+        pool.reserve(self.config.gpu_driver_baseline_bytes)
+        # One pool behind both endpoints: the inherited ``_allocate``
+        # (device -> gpu, pinned/numa -> cpu) reserves into it either way.
+        self.cpu = pool
+        self.gpu = pool
+
+    # -- uniform fault economics -----------------------------------------
+
+    def _first_touch(self, alloc, unmapped: list[int], proc) -> float:
+        cfg = self.config
+        page_size = cfg.system_page_size
+        if len(unmapped) > self.gpu.free // page_size:
+            raise RuntimeError(
+                f"reference {self.gpu.name}: unified pool exhausted"
+            )
+        alloc.set_location(unmapped, Location.GPU)
+        self.gpu.reserve(len(unmapped) * page_size)
+        n = len(unmapped)
+        if proc is Processor.GPU:
+            self._bump(gpu_replayable_faults=n)
+        else:
+            self._bump(cpu_page_faults=n)
+        seconds = 0.0
+        seconds += n * cfg.upm_fault_cost
+        seconds += (n * page_size) / cfg.fault_zeroing_bandwidth
+        return seconds
+
+    def _local_bytes(self, alloc, pages, rec, out, proc, write) -> None:
+        counts = alloc.counts(pages)
+        n_local = (
+            counts[Location.GPU]
+            + counts[Location.CPU]
+            + counts[Location.CPU_PINNED]
+        )
+        local_bytes = rec.useful_bytes * n_local
+        if proc is Processor.GPU:
+            out.hbm_bytes += local_bytes
+            self._bump(
+                **{
+                    (
+                        "hbm_write_bytes" if write else "hbm_read_bytes"
+                    ): local_bytes
+                }
+            )
+        else:
+            out.lpddr_bytes += local_bytes
+            self._bump(
+                **{
+                    (
+                        "lpddr_write_bytes" if write else "lpddr_read_bytes"
+                    ): local_bytes
+                }
+            )
+
+    # -- access paths ----------------------------------------------------
+
+    def _system(self, proc, alloc, pages, rec, out, write) -> None:
+        unmapped = alloc.subset(pages, Location.UNMAPPED)
+        if unmapped:
+            out.fault_seconds += self._first_touch(alloc, unmapped, proc)
+        self._local_bytes(alloc, pages, rec, out, proc, write)
+
+    def _managed_gpu(self, alloc, pages, rec, out, write) -> None:
+        alloc.touch_blocks(pages, self.time)
+        unmapped = alloc.subset(pages, Location.UNMAPPED)
+        if unmapped:
+            out.fault_seconds += self._first_touch(
+                alloc, unmapped, Processor.GPU
+            )
+        self._local_bytes(alloc, pages, rec, out, Processor.GPU, write)
+
+    def _managed_cpu(self, alloc, pages, rec, out, write) -> None:
+        unmapped = alloc.subset(pages, Location.UNMAPPED)
+        if unmapped:
+            out.fault_seconds += self._first_touch(
+                alloc, unmapped, Processor.CPU
+            )
+        self._local_bytes(alloc, pages, rec, out, Processor.CPU, write)
+
+    def _pinned(self, proc, alloc, pages, rec, out, write) -> None:
+        useful = rec.useful_bytes * len(pages)
+        if proc is Processor.CPU:
+            out.lpddr_bytes = useful
+            self._bump(
+                **{
+                    (
+                        "lpddr_write_bytes" if write else "lpddr_read_bytes"
+                    ): useful
+                }
+            )
+        else:
+            # Zero-copy from the unified pool at the GPU roofline.
+            out.hbm_bytes = useful
+            self._bump(
+                **{("hbm_write_bytes" if write else "hbm_read_bytes"): useful}
+            )
+
+    # -- epochs ----------------------------------------------------------
+
+    def begin_epoch(self) -> None:
+        # No migrator: epoch boundaries move nothing and cost nothing.
+        return
+
+
+#: ``SystemConfig.mem_arch`` -> naive reference executor for that backend.
+REFERENCE_SYSTEMS: dict[str, type] = {
+    "gh200": ReferenceSystem,
+    "upm": UpmReferenceSystem,
+}
+
+
+def reference_system_for(config: SystemConfig) -> "ReferenceSystem":
+    """A fresh reference executor matching ``config.mem_arch``."""
+    try:
+        cls = REFERENCE_SYSTEMS[config.mem_arch]
+    except KeyError:
+        raise ValueError(
+            f"no reference executor for memory architecture "
+            f"{config.mem_arch!r}; known: {sorted(REFERENCE_SYSTEMS)}"
+        ) from None
+    return cls(config)
+
+
 @dataclass
 class DifferentialReport:
     """Outcome of one production-vs-reference trace replay."""
@@ -826,7 +969,9 @@ def differential_replay(
         },
     }
 
-    reference = ReferenceSystem(config.copy()).run(trace, epoch_every=epoch_every)
+    reference = reference_system_for(config.copy()).run(
+        trace, epoch_every=epoch_every
+    )
 
     divergent: dict[str, tuple] = {}
     for name in set(production["counters"]) | set(reference["counters"]):

@@ -349,20 +349,34 @@ class MemSanitizer:
                     alloc=alloc,
                     details={"remote": alloc.pages_at(Location.REMOTE)},
                 )
-        if cpu_tag != expect_cpu:
-            self._fail(
-                "byte-conservation",
-                "CPU pool reservation disagrees with CPU-resident bytes",
-                alloc=alloc,
-                details={"pool_tag_bytes": cpu_tag, "resident": expect_cpu},
-            )
-        if gpu_tag != expect_gpu:
-            self._fail(
-                "byte-conservation",
-                "GPU pool reservation disagrees with GPU-resident bytes",
-                alloc=alloc,
-                details={"pool_tag_bytes": gpu_tag, "resident": expect_gpu},
-            )
+        if self.mem.physical.cpu is self.mem.physical.gpu:
+            # Unified-pool backend (e.g. "upm"): one ledger entry backs
+            # both residency classes — conservation is against the sum.
+            if cpu_tag != expect_cpu + expect_gpu:
+                self._fail(
+                    "byte-conservation",
+                    "unified pool reservation disagrees with resident bytes",
+                    alloc=alloc,
+                    details={
+                        "pool_tag_bytes": cpu_tag,
+                        "resident": expect_cpu + expect_gpu,
+                    },
+                )
+        else:
+            if cpu_tag != expect_cpu:
+                self._fail(
+                    "byte-conservation",
+                    "CPU pool reservation disagrees with CPU-resident bytes",
+                    alloc=alloc,
+                    details={"pool_tag_bytes": cpu_tag, "resident": expect_cpu},
+                )
+            if gpu_tag != expect_gpu:
+                self._fail(
+                    "byte-conservation",
+                    "GPU pool reservation disagrees with GPU-resident bytes",
+                    alloc=alloc,
+                    details={"pool_tag_bytes": gpu_tag, "resident": expect_gpu},
+                )
         if alloc.remote_pages_by_node and self.mem.fabric_port is not None:
             page_size = alloc.page_size
             for node, n_pages in alloc.remote_pages_by_node.items():

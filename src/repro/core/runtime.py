@@ -266,9 +266,16 @@ class GraceHopperSystem:
     def free_gpu_memory(self) -> int:
         return self.mem.physical.gpu_free_memory()
 
+    def balloon_reference_free(self) -> int:
+        """Free bytes of the GPU-sized reference tier oversubscription
+        ratios (and balloon sizing) are quoted against. On GH200 this is
+        literal HBM free space; unified-pool backends report the notional
+        GPU-share so ratios stay comparable across architectures."""
+        return self.mem.arch.oversubscription_reference_free(self.mem)
+
     def oversubscription_ratio(self, peak_bytes: int) -> float:
         """``R_oversub = M_peak / M_gpu`` per Section 3.2."""
-        free = self.free_gpu_memory()
+        free = self.balloon_reference_free()
         if free <= 0:
             return float("inf")
         return peak_bytes / free

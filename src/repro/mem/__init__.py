@@ -1,5 +1,25 @@
-"""Memory substrate: page tables, faults, migration, managed memory."""
+"""Memory substrate: page tables, faults, migration, managed memory.
 
+The fault/migration/physical-layout behaviour is pluggable per
+:class:`~repro.mem.arch.MemoryArchitecture` backend — ``gh200`` (the
+paper's split-pool testbed, default) and ``upm`` (MI300A-style unified
+physical memory) ship in-tree; ``SystemConfig.mem_arch`` selects one.
+"""
+
+from .arch import (
+    MemoryArchitecture,
+    architecture_descriptions,
+    architecture_names,
+    register_architecture,
+    resolve_arch,
+)
+from .arch_gh200 import GH200Architecture
+from .arch_upm import (
+    NullMigrator,
+    UnifiedPhysicalMemory,
+    UpmArchitecture,
+    UpmFaultHandler,
+)
 from .coherence import AccessShape, CoherenceFabric, wire_bytes
 from .faults import FaultHandler
 from .managed import ManagedMemoryManager
@@ -18,6 +38,16 @@ from .physical import MemoryPool, OutOfMemoryError, PhysicalMemory
 from .subsystem import AccessResult, MemorySubsystem
 
 __all__ = [
+    "MemoryArchitecture",
+    "architecture_descriptions",
+    "architecture_names",
+    "register_architecture",
+    "resolve_arch",
+    "GH200Architecture",
+    "NullMigrator",
+    "UnifiedPhysicalMemory",
+    "UpmArchitecture",
+    "UpmFaultHandler",
     "AccessShape",
     "CoherenceFabric",
     "wire_bytes",

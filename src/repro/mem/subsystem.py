@@ -26,11 +26,11 @@ from ..interconnect.copyengine import CopyEngine
 from ..interconnect.nvlink import NvlinkC2C
 from ..profiling.counters import HardwareCounters
 from ..sim.config import Location, Processor, SystemConfig
+from .arch import resolve_arch
 from .coherence import AccessShape, CoherenceFabric
-from .faults import FaultHandler
 from .gmmu import Gmmu
 from .managed import ManagedMemoryManager, ManagedOutcome
-from .migration import AccessCounterMigrator, MigrationReport
+from .migration import MigrationReport
 from .pagetable import (
     Allocation,
     AllocKind,
@@ -38,7 +38,6 @@ from .pagetable import (
     SystemPageTable,
 )
 from .pageset import PageSet
-from .physical import PhysicalMemory
 from .smmu import Smmu
 from .tlb import TlbHierarchy
 
@@ -72,7 +71,11 @@ class MemorySubsystem:
     def __init__(self, config: SystemConfig, counters: HardwareCounters):
         self.config = config
         self.counters = counters
-        self.physical = PhysicalMemory(config)
+        #: The memory-architecture backend (strategy object) selected by
+        #: ``config.mem_arch``; owns the physical layout, fault path,
+        #: migration policy, and per-kind access economics.
+        self.arch = resolve_arch(config.mem_arch)
+        self.physical = self.arch.make_physical(config)
         self.link = NvlinkC2C(config)
         self.copy_engine = CopyEngine(config, self.link)
         self.tlbs = TlbHierarchy(config)
@@ -81,8 +84,10 @@ class MemorySubsystem:
         self.fabric = CoherenceFabric(config)
         self.system_table = SystemPageTable(config)
         self.gpu_table = GpuPageTable(config)
-        self.faults = FaultHandler(config, self.physical, self.smmu, counters)
-        self.migrator = AccessCounterMigrator(
+        self.faults = self.arch.make_fault_handler(
+            config, self.physical, self.smmu, counters
+        )
+        self.migrator = self.arch.make_migrator(
             config, self.physical, self.link, self.tlbs, counters
         )
         self.managed = ManagedMemoryManager(
@@ -237,19 +242,21 @@ class MemorySubsystem:
         if not pages:
             return AccessResult()
         if alloc.kind is AllocKind.MANAGED:
-            res = self._from_managed(
-                self.managed.gpu_access(alloc, pages, shape, write=write, now=now)
-                if processor is Processor.GPU
-                else self.managed.cpu_access(alloc, pages, shape, write=write, now=now),
-                pages,
-                shape,
+            res = self.arch.managed_access(
+                self, processor, alloc, pages, shape, write, now
             )
         elif alloc.kind is AllocKind.DEVICE:
+            # Device memory is architecture-independent: GPU-local,
+            # CPU-inaccessible (same PermissionError on every backend).
             res = self._device_access(processor, alloc, pages, shape, write)
         elif alloc.kind in (AllocKind.HOST_PINNED, AllocKind.NUMA_CPU):
-            res = self._pinned_access(processor, alloc, pages, shape, write)
+            res = self.arch.pinned_access(
+                self, processor, alloc, pages, shape, write
+            )
         else:
-            res = self._system_access(processor, alloc, pages, shape, write)
+            res = self.arch.system_access(
+                self, processor, alloc, pages, shape, write
+            )
         if self.sanitizer is not None:
             self.sanitizer.after_access(alloc, now)
         return res
@@ -288,7 +295,7 @@ class MemorySubsystem:
                 )
             return total
         on_gpu = processor is Processor.GPU
-        local_loc = Location.GPU if on_gpu else Location.CPU
+        local_loc = self.arch.local_location(processor)
         with self.migrator.deferred():
             for i, alloc in enumerate(batch.allocs):
                 if alloc.freed:
@@ -503,7 +510,7 @@ class MemorySubsystem:
         """``cudaHostRegister``: pre-populate the system PTEs CPU-side."""
         if alloc.kind is not AllocKind.SYSTEM:
             raise ValueError("host_register applies to system allocations")
-        return self.faults.prepopulate(alloc, PageSet.full(alloc.n_pages))
+        return self.arch.host_register(self, alloc)
 
     def prefetch_async(
         self, alloc: Allocation, pages: PageSet | None = None, *, now: float = 0.0
@@ -513,7 +520,7 @@ class MemorySubsystem:
             raise ValueError("prefetch_async applies to managed allocations")
         pages = PageSet.full(alloc.n_pages) if pages is None else pages
         pages = pages.clip(alloc.n_pages)
-        seconds = self.managed.prefetch_to_gpu(alloc, pages, now)
+        seconds = self.arch.prefetch_async(self, alloc, pages, now)
         if self.timeline is not None:
             self.timeline.complete(
                 "prefetch", now, seconds, cat="mem", track="mem/prefetch",

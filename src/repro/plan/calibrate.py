@@ -33,7 +33,8 @@ from ..sim.config import SystemConfig
 CAL_PREFIX = "plan_cal_"
 
 #: Bump to invalidate persisted vectors after a schema change.
-COST_VECTOR_SCHEMA = 1
+#: 2: cost vectors are per-(experiment, memory-architecture backend).
+COST_VECTOR_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -123,6 +124,9 @@ class CostVector:
     exp_id: str
     app: str
     mode: str
+    #: Memory-architecture backend the vector was measured under —
+    #: vectors are per-(experiment, backend), never interchangeable.
+    mem_arch: str
     scale: float
     page_size: int
     migration: bool
@@ -200,7 +204,9 @@ def _suffix_fraction(kernel_records, total_s: float) -> float:
     return min(1.0, max(0.0, (last_end - first_end) / total_s))
 
 
-def measure_cost_vector(exp_id: str, scale: float = 1.0) -> dict:
+def measure_cost_vector(
+    exp_id: str, scale: float = 1.0, mem_arch: str = "gh200"
+) -> dict:
     """Run the calibration simulation for ``exp_id`` and distil the
     counters into a cost-vector payload (JSON-serialisable dict)."""
     try:
@@ -220,6 +226,7 @@ def measure_cost_vector(exp_id: str, scale: float = 1.0) -> dict:
         page_size=spec.page_size,
         migration=spec.migration,
         oversubscription=spec.oversubscription,
+        config_overrides={"mem_arch": mem_arch},
         app_kwargs=spec.app_kwargs(scale),
     )
     wall = time.perf_counter() - t0
@@ -246,6 +253,7 @@ def measure_cost_vector(exp_id: str, scale: float = 1.0) -> dict:
         exp_id=exp_id,
         app=spec.app,
         mode=spec.mode.value,
+        mem_arch=mem_arch,
         scale=scale,
         page_size=spec.page_size,
         migration=spec.migration,
@@ -285,30 +293,42 @@ def measure_cost_vector(exp_id: str, scale: float = 1.0) -> dict:
     ).to_dict()
 
 
+def _cache_kwargs(scale: float, mem_arch: str) -> dict:
+    """Cache-entry kwargs: the default backend is omitted so vectors
+    calibrated before backends existed keep their keys; every other
+    backend gets distinct per-(experiment, backend) entries."""
+    kwargs: dict = {"scale": scale}
+    if mem_arch != "gh200":
+        kwargs["mem_arch"] = mem_arch
+    return kwargs
+
+
 def calibrate(
     exp_id: str,
     *,
     scale: float = 1.0,
     cache: ResultCache | None = None,
     force: bool = False,
+    mem_arch: str = "gh200",
 ) -> CostVector:
     """One cost vector, cached. The simulation only runs on a miss."""
     payload = run_payload_cached(
         CAL_PREFIX + exp_id,
-        lambda: measure_cost_vector(exp_id, scale),
+        lambda: measure_cost_vector(exp_id, scale, mem_arch),
         cache=cache,
         force=force,
-        title=f"capacity-planner cost vector for {exp_id}",
-        scale=scale,
+        title=f"capacity-planner cost vector for {exp_id} ({mem_arch})",
+        **_cache_kwargs(scale, mem_arch),
     )
     return CostVector.from_dict(payload)
 
 
 def load_calibrated(
-    exp_id: str, *, scale: float = 1.0, cache: ResultCache
+    exp_id: str, *, scale: float = 1.0, cache: ResultCache,
+    mem_arch: str = "gh200",
 ) -> CostVector | None:
     """Fetch a persisted vector without ever simulating (query path)."""
-    hit = cache.get(CAL_PREFIX + exp_id, scale=scale)
+    hit = cache.get(CAL_PREFIX + exp_id, **_cache_kwargs(scale, mem_arch))
     if hit is None or not hit.rows:
         return None
     return CostVector.from_dict(hit.rows[0])
@@ -320,6 +340,7 @@ def calibrate_many(
     scale: float = 1.0,
     cache: ResultCache | None = None,
     force: bool = False,
+    mem_arch: str = "gh200",
 ) -> dict[str, CostVector]:
     unknown = [e for e in exp_ids if e not in CALIBRATION_RUNS]
     if unknown:
@@ -328,7 +349,9 @@ def calibrate_many(
             f"{', '.join(calibratable_ids())}"
         )
     return {
-        exp_id: calibrate(exp_id, scale=scale, cache=cache, force=force)
+        exp_id: calibrate(
+            exp_id, scale=scale, cache=cache, force=force, mem_arch=mem_arch
+        )
         for exp_id in exp_ids
     }
 

@@ -45,6 +45,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="result-cache location (default: $REPRO_BENCH_CACHE_DIR or "
         "~/.cache/repro-bench)",
     )
+    from ..mem.arch import architecture_names
+
+    parser.add_argument(
+        "--mem-arch", default="gh200", choices=architecture_names(),
+        metavar="ARCH",
+        help="memory-architecture backend the vectors are measured/"
+        "queried under (cost vectors are per-(experiment, backend); "
+        f"choices: {', '.join(architecture_names())})",
+    )
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
@@ -94,17 +103,24 @@ def _load_mix_model(args, parser) -> tuple[MixModel, dict[str, float]]:
     vectors = {}
     missing = []
     for exp_id in mix:
-        vec = load_calibrated(exp_id, scale=args.scale, cache=cache)
+        vec = load_calibrated(
+            exp_id, scale=args.scale, cache=cache, mem_arch=args.mem_arch
+        )
         if vec is None:
             missing.append(exp_id)
         else:
             vectors[exp_id] = vec
     if missing:
+        arch_flag = (
+            "" if args.mem_arch == "gh200" else f" --mem-arch {args.mem_arch}"
+        )
         parser.error(
             f"no calibrated cost vector for {', '.join(missing)} at "
-            f"scale={args.scale} under {cache.root}; run "
+            f"scale={args.scale} (backend {args.mem_arch}) under "
+            f"{cache.root}; run "
             f"'repro-bench plan calibrate {' '.join(missing)} "
-            f"--scale {args.scale}' first (predict/size never simulate)"
+            f"--scale {args.scale}{arch_flag}' first "
+            "(predict/size never simulate)"
         )
     return MixModel(vectors, mix), mix
 
@@ -167,7 +183,8 @@ def _main_calibrate(argv: list[str]) -> int:
     register_run_hook(progress)
     try:
         vectors = calibrate_many(
-            wanted, scale=args.scale, cache=cache, force=args.force
+            wanted, scale=args.scale, cache=cache, force=args.force,
+            mem_arch=args.mem_arch,
         )
     finally:
         unregister_run_hook(progress)

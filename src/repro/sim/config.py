@@ -151,6 +151,24 @@ class SystemConfig:
     gpu_driver_baseline_bytes: int = 600 * 10**6
 
     # ------------------------------------------------------------------
+    # Memory architecture (pluggable backend; see repro.mem.arch)
+    # ------------------------------------------------------------------
+    #: Which memory-architecture backend the memory subsystem runs.
+    #: ``"gh200"`` (default) is the paper's design point: split
+    #: LPDDR5X/HBM3 pools, first-touch placement and access-counter
+    #: delayed migration. ``"upm"`` is an MI300A-style unified physical
+    #: memory (one pool, no migration, uniform fault economics; see
+    #: PAPERS.md, arXiv 2508.12743). Backends register themselves in
+    #: :mod:`repro.mem.arch`; an unknown name fails at subsystem build
+    #: time with the registered list.
+    mem_arch: str = "gh200"
+    #: Uniform first-touch fault cost of the UPM backend. One physical
+    #: pool means a GPU first-touch needs no cross-chip SMMU replay
+    #: round-trip, so both engines pay an OS-fault-path-like per-page
+    #: cost (calibrated to the CPU anonymous-fault cost).
+    upm_fault_cost: float = 0.9e-6
+
+    # ------------------------------------------------------------------
     # Bandwidths (Section 2.1; measured and theoretical)
     # ------------------------------------------------------------------
     hbm_bandwidth: float = 3.4 * TB
@@ -385,6 +403,10 @@ class SystemConfig:
                 raise ValueError(f"{name} must be positive")
         if self.cpu_memory_bytes <= 0 or self.gpu_memory_bytes <= 0:
             raise ValueError("memory capacities must be positive")
+        if not self.mem_arch or not isinstance(self.mem_arch, str):
+            raise ValueError("mem_arch must be a non-empty backend name")
+        if self.upm_fault_cost <= 0:
+            raise ValueError("upm_fault_cost must be positive")
         if self.n_superchips < 1:
             raise ValueError("n_superchips must be at least 1")
         for name in ("nvlink_fabric_bandwidth", "cpu_socket_bandwidth"):

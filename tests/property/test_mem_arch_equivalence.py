@@ -1,0 +1,117 @@
+"""Property: backends are application-invisible.
+
+For any access-descriptor sequence, every registered memory-architecture
+backend must produce identical *application-visible* results — payload
+bytes, completion order, consumed bytes, raised exceptions. Backends may
+disagree only about counters and latency (that disagreement is their
+whole point: different fault economics and bandwidth rooflines).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import GraceHopperSystem
+from repro.mem.arch import architecture_names
+from repro.mem.coherence import AccessShape
+from repro.mem.pageset import PageSet
+from repro.mem.pagetable import AllocKind
+from repro.sim.config import Processor, SystemConfig
+
+BACKENDS = architecture_names()
+
+#: (kind, allocation index) slots the descriptor sequences address.
+KINDS = [
+    AllocKind.SYSTEM,
+    AllocKind.MANAGED,
+    AllocKind.HOST_PINNED,
+    AllocKind.DEVICE,
+]
+
+descriptors = st.lists(
+    st.tuples(
+        st.sampled_from([Processor.CPU, Processor.GPU]),
+        st.integers(0, len(KINDS) - 1),  # which allocation
+        st.integers(0, 63),  # page range start
+        st.integers(1, 64),  # page count
+        st.booleans(),  # write
+        st.booleans(),  # epoch boundary after this access
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+def visible_trace(mem_arch, ops):
+    """Replay ``ops`` on a fresh system; return the application-visible
+    event list: per-op outcome tag + consumed bytes, in completion order."""
+    gh = GraceHopperSystem(
+        SystemConfig.scaled(1 / 256, page_size=65536, mem_arch=mem_arch)
+    )
+    allocs = [gh.mem.allocate(kind, 1 << 22) for kind in KINDS]
+    shape = AccessShape(useful_bytes=gh.config.system_page_size)
+    events = []
+    now = 0.0
+    for i, (proc, which, start, count, write, epoch) in enumerate(ops):
+        alloc = allocs[which]
+        pages = PageSet.range(start, start + count).clip(alloc.n_pages)
+        try:
+            res = gh.mem.access(proc, alloc, pages, shape, write=write, now=now)
+            events.append(("done", i, which, res.consumed_bytes))
+        except PermissionError:
+            events.append(("denied", i, which, 0))
+        if epoch:
+            gh.mem.begin_epoch()
+        now += 0.001
+    for which, alloc in enumerate(allocs):
+        gh.mem.free(alloc)
+        events.append(("freed", which, alloc.freed, 0))
+    return events
+
+
+@settings(deadline=None, max_examples=30)
+@given(descriptors)
+def test_visible_events_identical_across_backends(ops):
+    baseline = visible_trace(BACKENDS[0], ops)
+    for backend in BACKENDS[1:]:
+        assert visible_trace(backend, ops) == baseline
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    st.integers(1, 1 << 14),
+    st.integers(0, 255),
+)
+def test_payload_bytes_identical_across_backends(n, fill):
+    """memcpy round-trips preserve payload bytes on every backend."""
+    payloads = {}
+    for backend in BACKENDS:
+        gh = GraceHopperSystem(
+            SystemConfig.scaled(1 / 256, page_size=65536, mem_arch=backend)
+        )
+        src = gh.malloc(np.uint8, n, name="src", materialize=True)
+        dev = gh.cuda_malloc(np.uint8, n, name="dev", materialize=True)
+        dst = gh.cuda_malloc_host(np.uint8, n, name="dst", materialize=True)
+        src.np[:] = (np.arange(n, dtype=np.uint64) + fill) % 251
+        gh.memcpy_h2d(dev, src)
+        gh.memcpy_d2h(dst, dev)
+        payloads[backend] = dst.np.copy()
+    baseline = payloads[BACKENDS[0]]
+    for backend in BACKENDS[1:]:
+        np.testing.assert_array_equal(payloads[backend], baseline)
+
+
+@pytest.mark.parametrize("ops", [
+    [(Processor.GPU, 0, 0, 64, True, True),
+     (Processor.CPU, 0, 0, 64, False, False)],
+    [(Processor.CPU, 1, 0, 32, True, False),
+     (Processor.GPU, 1, 0, 64, False, True),
+     (Processor.GPU, 3, 0, 16, True, False)],
+])
+def test_counters_may_differ_but_events_do_not(ops):
+    """The inverse guarantee: visible events match even on sequences
+    where the backends' counters demonstrably diverge."""
+    events = {b: visible_trace(b, ops) for b in BACKENDS}
+    for backend in BACKENDS[1:]:
+        assert events[backend] == events[BACKENDS[0]]

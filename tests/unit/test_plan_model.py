@@ -24,6 +24,7 @@ def make_vector(exp_id="figX", *, config=None, **overrides) -> CostVector:
         exp_id=exp_id,
         app="synthetic",
         mode="system",
+        mem_arch="gh200",
         scale=1.0,
         page_size=65536,
         migration=True,
