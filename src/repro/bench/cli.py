@@ -53,6 +53,10 @@ def main(argv: list[str] | None = None) -> int:
         from ..plan.cli import main_plan
 
         return main_plan(argv[1:])
+    if argv and argv[0] == "compare":
+        from .crossarch import main_compare
+
+        return main_compare(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -65,8 +69,9 @@ def main(argv: list[str] | None = None) -> int:
         "(result-cache stats and invalidation), 'repro-bench verify' "
         "(golden-trace regression gate), 'repro-bench trace' (event "
         "timelines -> Perfetto trace JSON), 'repro-bench plan' (analytic "
-        "capacity planner: calibrate/predict/size/validate); see each "
-        "one's --help.",
+        "capacity planner: calibrate/predict/size/validate), 'repro-bench "
+        "compare' (cross-architecture tables over the registered memory "
+        "backends, e.g. --mem-arch gh200,upm,svm); see each one's --help.",
     )
     parser.add_argument(
         "experiments",

@@ -1,0 +1,318 @@
+"""``repro-bench compare`` — cross-architecture comparison tables.
+
+The memory-architecture registry (:mod:`repro.mem.arch`) makes the
+paper's central question directly answerable: for each calibratable
+experiment, how do the three design points — GH200's delayed migration,
+MI300A-style unified physical memory, and classic discrete-GPU SVM —
+trade wall time, migrated/faulted bytes and fault counts, and at what
+oversubscription ratio does each design collapse?
+
+Two outputs:
+
+* **per-experiment tables** — one row per (experiment, backend), built
+  from the capacity planner's cached cost vectors
+  (:func:`repro.plan.calibrate.calibrate`), so a second invocation is
+  served from the result cache without simulating;
+* **oversubscription sweep** — one representative workload run at a
+  ladder of working-set/GPU-capacity ratios per backend, with the
+  *collapse point* detected as the first ratio whose wall time exceeds
+  ``--collapse-factor`` times the previous rung's (the cliff where a
+  design stops degrading gracefully).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..mem.arch import architecture_names
+
+#: Ratio ladder for the oversubscription sweep (working-set bytes over
+#: GPU-tier capacity; 1.0 = exactly full).
+DEFAULT_RATIOS = (0.8, 1.0, 1.2, 1.5, 2.0)
+
+
+def parse_mem_archs(spec: str) -> list[str]:
+    """Parse a comma-separated backend list, validated and de-duplicated
+    (order preserved). Raises ``ValueError`` naming the registry on an
+    unknown backend."""
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if not names:
+        raise ValueError("empty --mem-arch list")
+    registered = architecture_names()
+    out: list[str] = []
+    for name in names:
+        if name not in registered:
+            raise ValueError(
+                f"unknown memory architecture {name!r}; registered "
+                f"backends: {', '.join(registered)}"
+            )
+        if name not in out:
+            out.append(name)
+    return out
+
+
+def collapse_point(
+    ratios, times, factor: float = 2.0
+) -> float | None:
+    """The first oversubscription ratio whose time jumps by more than
+    ``factor``x over the previous rung — the cliff where a design stops
+    degrading gracefully. ``None`` when every step stays below the
+    factor (no collapse within the swept range)."""
+    if len(ratios) != len(times):
+        raise ValueError("ratios and times must have equal length")
+    pairs = sorted(zip(ratios, times))
+    for (_, prev_t), (ratio, t) in zip(pairs, pairs[1:]):
+        if prev_t > 0 and t > factor * prev_t:
+            return ratio
+    return None
+
+
+def compare_rows(
+    exp_ids,
+    archs,
+    *,
+    scale: float = 1.0,
+    cache=None,
+    force: bool = False,
+) -> list[dict]:
+    """One row per (experiment, backend): the comparison table data.
+
+    Times come from the planner's calibration vectors, so rows are
+    cached per (experiment, backend, scale) and the baseline column
+    (``vs_gh200`` when gh200 is included) is exact re-use, not re-run.
+    """
+    from ..plan.calibrate import calibrate
+
+    rows: list[dict] = []
+    for exp_id in exp_ids:
+        base_time = None
+        by_arch = {}
+        for arch in archs:
+            vec = calibrate(
+                exp_id, scale=scale, cache=cache, force=force, mem_arch=arch
+            )
+            by_arch[arch] = vec
+            if arch == "gh200":
+                base_time = vec.service_time_s
+        for arch in archs:
+            vec = by_arch[arch]
+            rows.append(
+                {
+                    "experiment": exp_id,
+                    "mem_arch": arch,
+                    "app": vec.app,
+                    "mode": vec.mode,
+                    "time_s": vec.service_time_s,
+                    "vs_gh200": (
+                        vec.service_time_s / base_time
+                        if base_time
+                        else None
+                    ),
+                    "migrated_bytes": vec.migrated_bytes,
+                    "eviction_bytes": vec.eviction_bytes,
+                    "gpu_faults": vec.gpu_faults,
+                    "far_faults": vec.far_faults,
+                    "cpu_faults": vec.cpu_faults,
+                    "oversubscription": vec.oversubscription,
+                }
+            )
+    return rows
+
+
+def oversubscription_sweep(
+    archs,
+    *,
+    ratios=DEFAULT_RATIOS,
+    scale: float = 1.0,
+    app: str = "hotspot",
+    page_size: int = 4096,
+    collapse_factor: float = 2.0,
+) -> dict[str, dict]:
+    """Run ``app`` (system memory, migration off — the fig11 setup) at
+    each oversubscription ratio per backend; returns per-backend ratio/
+    time ladders plus the detected collapse point."""
+    from ..core.porting import MemoryMode
+    from .harness import run_app
+
+    out: dict[str, dict] = {}
+    for arch in archs:
+        times = []
+        for ratio in ratios:
+            result, _ = run_app(
+                app,
+                MemoryMode.SYSTEM,
+                scale=scale,
+                page_size=page_size,
+                migration=False,
+                oversubscription=ratio,
+                config_overrides={"mem_arch": arch},
+            )
+            times.append(result.reported_total)
+        out[arch] = {
+            "ratios": list(ratios),
+            "times_s": times,
+            "collapse_at": collapse_point(
+                list(ratios), times, collapse_factor
+            ),
+        }
+    return out
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _gb(nbytes: int) -> str:
+    return f"{nbytes / 1e9:.3f}"
+
+
+def render_compare_table(rows: list[dict]) -> str:
+    """Fixed-width per-experiment tables, one row per backend."""
+    header = (
+        f"{'experiment':<16}{'backend':<8}{'time_s':>12}{'vs gh200':>10}"
+        f"{'migrated_GB':>13}{'evicted_GB':>12}{'gpu_faults':>12}"
+        f"{'far_faults':>12}{'cpu_faults':>12}{'oversub':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    last_exp = None
+    for row in rows:
+        exp = row["experiment"]
+        shown = exp if exp != last_exp else ""
+        last_exp = exp
+        rel = row["vs_gh200"]
+        lines.append(
+            f"{shown:<16}{row['mem_arch']:<8}{row['time_s']:>12.4f}"
+            f"{(f'{rel:.2f}x' if rel is not None else '-'):>10}"
+            f"{_gb(row['migrated_bytes']):>13}"
+            f"{_gb(row['eviction_bytes']):>12}"
+            f"{row['gpu_faults']:>12}{row['far_faults']:>12}"
+            f"{row['cpu_faults']:>12}{row['oversubscription']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_sweep(sweep: dict[str, dict]) -> str:
+    lines = ["oversubscription sweep (system memory, migration off):"]
+    for arch, data in sweep.items():
+        rungs = "  ".join(
+            f"{r:.2f}:{t:.4f}s"
+            for r, t in zip(data["ratios"], data["times_s"])
+        )
+        collapse = data["collapse_at"]
+        lines.append(
+            f"  {arch:<8} {rungs}  collapse at "
+            f"{collapse if collapse is not None else '>' + format(max(data['ratios']), '.2f')}"
+        )
+    return "\n".join(lines)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def main_compare(argv: list[str] | None = None) -> int:
+    from ..bench.runner import ResultCache
+    from ..bench.trace_cmd import parse_scale
+    from ..plan.calibrate import calibratable_ids
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench compare",
+        description="Cross-architecture comparison: per-experiment "
+        "wall time, migrated/faulted bytes and fault counts per memory "
+        "backend, plus the oversubscription collapse point of each "
+        "design.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXP",
+        help="calibratable experiment ids (default: all of "
+        f"{', '.join(calibratable_ids())})",
+    )
+    parser.add_argument(
+        "--mem-arch", default=",".join(architecture_names()),
+        metavar="A,B,..",
+        help="comma-separated backends to compare (default: every "
+        f"registered backend: {','.join(architecture_names())})",
+    )
+    parser.add_argument(
+        "--scale", type=parse_scale, default=parse_scale("1/64"),
+        metavar="S",
+        help="problem/machine scale (accepts 1/64; default 1/64)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result-cache location (default: $REPRO_BENCH_CACHE_DIR "
+        "or ~/.cache/repro-bench)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="re-simulate even on calibration-cache hits",
+    )
+    parser.add_argument(
+        "--sweep", action=argparse.BooleanOptionalAction, default=True,
+        help="also run the oversubscription collapse-point sweep "
+        "(default on; --no-sweep for tables only)",
+    )
+    parser.add_argument(
+        "--ratios", default=",".join(str(r) for r in DEFAULT_RATIOS),
+        metavar="R,R,..",
+        help="oversubscription ratio ladder for the sweep",
+    )
+    parser.add_argument(
+        "--collapse-factor", type=float, default=2.0, metavar="F",
+        help="per-rung slowdown declaring a collapse (default 2.0)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write rows + sweep to a JSON file ('-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        archs = parse_mem_archs(args.mem_arch)
+    except ValueError as exc:
+        parser.error(str(exc))
+    exp_ids = args.experiments or calibratable_ids()
+    unknown = [e for e in exp_ids if e not in calibratable_ids()]
+    if unknown:
+        parser.error(
+            f"unknown/uncalibratable experiment(s): {unknown}; "
+            f"calibratable: {', '.join(calibratable_ids())}"
+        )
+    try:
+        ratios = [float(r) for r in args.ratios.split(",") if r.strip()]
+    except ValueError:
+        parser.error(f"bad --ratios value: {args.ratios!r}")
+    if not ratios or any(r <= 0 for r in ratios):
+        parser.error("--ratios must be positive numbers")
+
+    cache = ResultCache(args.cache_dir)
+    rows = compare_rows(
+        exp_ids, archs, scale=args.scale, cache=cache, force=args.force
+    )
+    print(render_compare_table(rows))
+    sweep = {}
+    if args.sweep:
+        sweep = oversubscription_sweep(
+            archs,
+            ratios=ratios,
+            scale=args.scale,
+            collapse_factor=args.collapse_factor,
+        )
+        print()
+        print(render_sweep(sweep))
+
+    if args.json:
+        payload = json.dumps(
+            {"scale": args.scale, "rows": rows, "sweep": sweep}, indent=2
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+            print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_compare())

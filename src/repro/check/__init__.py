@@ -32,6 +32,7 @@ from .golden import (
 from .reference import (
     DifferentialReport,
     ReferenceSystem,
+    SvmReferenceSystem,
     UpmReferenceSystem,
     differential_replay,
     reference_system_for,
@@ -44,6 +45,7 @@ __all__ = [
     "InvariantViolation",
     "MemSanitizer",
     "ReferenceSystem",
+    "SvmReferenceSystem",
     "UpmReferenceSystem",
     "compute_fingerprint",
     "differential_replay",

@@ -887,10 +887,233 @@ class UpmReferenceSystem(ReferenceSystem):
         return
 
 
+class SvmReferenceSystem(ReferenceSystem):
+    """Naive per-page reference for the ``svm`` backend.
+
+    Mirrors :class:`repro.mem.arch_svm.SvmArchitecture` the obvious way:
+    split host/device pools, first touch always host-side at
+    :attr:`~repro.sim.config.SystemConfig.svm_fault_cost` (GPU) or the
+    OS anonymous-fault cost (CPU) plus zeroing, every touch of a page
+    resident on the other side a fault plus an eager page-granularity
+    transfer over the :meth:`~repro.sim.config.SystemConfig
+    .svm_transfer_time` link, device-pool eviction in registration
+    order, and overflow batches streaming in and straight back out. No
+    cacheline-grain remote path exists, so ``c2c_*``/``cpu_remote_*``
+    stay zero except for pinned-memory DMA. The same batch-level cost
+    expressions in the same operation order keep time equality exact.
+    """
+
+    # -- fault economics -------------------------------------------------
+
+    def _first_touch(self, alloc, unmapped: list[int], proc) -> float:
+        cfg = self.config
+        page_size = cfg.system_page_size
+        alloc.set_location(unmapped, Location.CPU)
+        self.cpu.reserve(len(unmapped) * page_size)
+        n = len(unmapped)
+        seconds = 0.0
+        if proc is Processor.GPU:
+            self._bump(gpu_replayable_faults=n)
+            seconds += n * cfg.svm_fault_cost
+        else:
+            cost = n * cfg.cpu_fault_cost
+            if cfg.autonuma_enable:
+                cost += n * cfg.autonuma_hint_fault_cost
+            seconds += cost
+            self._bump(cpu_page_faults=n)
+        seconds += (n * page_size) / cfg.fault_zeroing_bandwidth
+        return seconds
+
+    # -- eviction --------------------------------------------------------
+
+    def _svm_evict(self, needed: int, protect_name: str, protect) -> float:
+        cfg = self.config
+        if needed <= self.gpu.free:
+            return 0.0
+        page_size = cfg.system_page_size
+        target = needed - self.gpu.free
+        protect_set = set(protect)
+        seconds = 0.0
+        for victim in list(self.allocs.values()):
+            if target <= 0:
+                break
+            if victim.kind not in ("system", "managed"):
+                continue
+            cand = [
+                p
+                for p in range(victim.n_pages)
+                if victim.loc[p] is Location.GPU
+            ]
+            if victim.name == protect_name:
+                cand = [p for p in cand if p not in protect_set]
+            take = cand[: -(-target // page_size)]
+            if not take:
+                continue
+            nbytes = len(take) * page_size
+            victim.set_location(take, Location.CPU)
+            self.gpu.release(nbytes)
+            self.cpu.reserve(nbytes)
+            t = cfg.svm_transfer_time(nbytes) / cfg.eviction_bandwidth_fraction
+            self.link._account(nbytes, Processor.GPU, "dma")
+            seconds += t
+            seconds += cfg.tlb_shootdown_cost + len(take) * 1e-9
+            self._bump(
+                eviction_bytes=nbytes,
+                migration_d2h_bytes=nbytes,
+                pages_evicted=len(take),
+                pages_migrated_d2h=len(take),
+                tlb_shootdowns=1,
+            )
+            target -= nbytes
+        return seconds
+
+    # -- shared access paths ---------------------------------------------
+
+    def _svm_gpu(self, alloc, pages, rec, out, write) -> None:
+        cfg = self.config
+        page_size = cfg.system_page_size
+        counts = alloc.counts(pages)  # snapshot before fault servicing
+        unmapped = alloc.subset(pages, Location.UNMAPPED)
+        if unmapped:
+            out.fault_seconds += self._first_touch(
+                alloc, unmapped, Processor.GPU
+            )
+        n_stale = counts[Location.CPU] + counts[Location.CPU_PINNED]
+        if n_stale:
+            self._bump(gpu_replayable_faults=n_stale)
+            out.fault_seconds += n_stale * cfg.svm_fault_cost
+
+        move = alloc.subset(pages, Location.CPU)
+        if move:
+            out.fault_seconds += self._svm_evict(
+                len(move) * page_size, alloc.name, pages
+            )
+            fit = move[: self.gpu.free // page_size]
+            rest = move[len(fit):]
+            if fit:
+                nbytes = len(fit) * page_size
+                alloc.set_location(fit, Location.GPU)
+                self.cpu.release(nbytes)
+                self.gpu.reserve(nbytes)
+                t = cfg.svm_transfer_time(nbytes)
+                self.link._account(nbytes, Processor.CPU, "migration")
+                out.transfer_seconds += t
+                self._bump(
+                    migration_h2d_bytes=nbytes,
+                    pages_migrated_h2d=len(fit),
+                )
+            if rest:
+                nbytes = len(rest) * page_size
+                t_in = cfg.svm_transfer_time(nbytes)
+                t_out = (
+                    cfg.svm_transfer_time(nbytes)
+                    / cfg.eviction_bandwidth_fraction
+                )
+                self.link._account(nbytes, Processor.CPU, "migration")
+                self.link._account(nbytes, Processor.GPU, "dma")
+                out.transfer_seconds += t_in + t_out
+                self._bump(
+                    migration_h2d_bytes=nbytes,
+                    migration_d2h_bytes=nbytes,
+                    eviction_bytes=nbytes,
+                    pages_migrated_h2d=len(rest),
+                    pages_migrated_d2h=len(rest),
+                    pages_evicted=len(rest),
+                )
+
+        local_bytes = rec.useful_bytes * len(pages)
+        out.hbm_bytes += local_bytes
+        self._bump(
+            **{("hbm_write_bytes" if write else "hbm_read_bytes"): local_bytes}
+        )
+
+    def _svm_cpu(self, alloc, pages, rec, out, write) -> None:
+        cfg = self.config
+        page_size = cfg.system_page_size
+        unmapped = alloc.subset(pages, Location.UNMAPPED)
+        if unmapped:
+            out.fault_seconds += self._first_touch(
+                alloc, unmapped, Processor.CPU
+            )
+
+        gpu_set = alloc.subset(pages, Location.GPU)
+        if gpu_set:
+            n = len(gpu_set)
+            self._bump(cpu_page_faults=n)
+            out.fault_seconds += n * cfg.svm_fault_cost
+            nbytes = n * page_size
+            alloc.set_location(gpu_set, Location.CPU)
+            self.gpu.release(nbytes)
+            self.cpu.reserve(nbytes)
+            t = cfg.svm_transfer_time(nbytes)
+            self.link._account(nbytes, Processor.GPU, "dma")
+            out.transfer_seconds += t
+            out.fault_seconds += cfg.tlb_shootdown_cost + n * 1e-9
+            self._bump(
+                migration_d2h_bytes=nbytes,
+                pages_migrated_d2h=n,
+                tlb_shootdowns=1,
+            )
+
+        local_bytes = rec.useful_bytes * len(pages)
+        out.lpddr_bytes += local_bytes
+        self._bump(
+            **{
+                (
+                    "lpddr_write_bytes" if write else "lpddr_read_bytes"
+                ): local_bytes
+            }
+        )
+
+    # -- per-kind dispatch -----------------------------------------------
+
+    def _system(self, proc, alloc, pages, rec, out, write) -> None:
+        if proc is Processor.GPU:
+            self._svm_gpu(alloc, pages, rec, out, write)
+        else:
+            self._svm_cpu(alloc, pages, rec, out, write)
+
+    def _managed_gpu(self, alloc, pages, rec, out, write) -> None:
+        alloc.touch_blocks(pages, self.time)
+        self._svm_gpu(alloc, pages, rec, out, write)
+
+    def _managed_cpu(self, alloc, pages, rec, out, write) -> None:
+        self._svm_cpu(alloc, pages, rec, out, write)
+
+    def _pinned(self, proc, alloc, pages, rec, out, write) -> None:
+        useful = rec.useful_bytes * len(pages)
+        if proc is Processor.CPU:
+            out.lpddr_bytes = useful
+            self._bump(
+                **{
+                    (
+                        "lpddr_write_bytes" if write else "lpddr_read_bytes"
+                    ): useful
+                }
+            )
+        else:
+            # Page-granularity DMA over the link, not a coherent load.
+            wire = self._per_page_wire(proc, rec) * len(pages)
+            t = self.config.svm_transfer_time(wire)
+            self.link._account(wire, Processor.CPU, "remote")
+            out.remote_bytes = wire
+            out.remote_seconds = t
+            self._bump(
+                **{("c2c_write_bytes" if write else "c2c_read_bytes"): wire}
+            )
+
+    # -- epochs ----------------------------------------------------------
+
+    def begin_epoch(self) -> None:
+        # Migration is eager and on-fault; epochs move nothing.
+        return
+
+
 #: ``SystemConfig.mem_arch`` -> naive reference executor for that backend.
 REFERENCE_SYSTEMS: dict[str, type] = {
     "gh200": ReferenceSystem,
     "upm": UpmReferenceSystem,
+    "svm": SvmReferenceSystem,
 }
 
 

@@ -113,7 +113,7 @@ _INSTANCES: dict[str, MemoryArchitecture] = {}
 def _ensure_builtins() -> None:
     """Import the in-tree backends so the registry is never empty,
     regardless of which module a caller imported first."""
-    from . import arch_gh200, arch_upm  # noqa: F401
+    from . import arch_gh200, arch_svm, arch_upm  # noqa: F401
 
 
 def register_architecture(cls):

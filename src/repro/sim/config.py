@@ -167,6 +167,17 @@ class SystemConfig:
     #: round-trip, so both engines pay an OS-fault-path-like per-page
     #: cost (calibrated to the CPU anonymous-fault cost).
     upm_fault_cost: float = 0.9e-6
+    #: Host-device link bandwidth of the SVM (discrete-GPU) backend, in
+    #: decimal GB/s per direction. The default models an effective PCIe
+    #: 4.0 x16 link — an order of magnitude below NVLink-C2C, which is
+    #: the design-point gap the SVM paper (arXiv 2405.06811) studies.
+    svm_link_gbps: float = 25.0
+    #: Per-page fault cost of the SVM backend. Discrete-GPU shared
+    #: virtual memory has no hardware coherence path: every non-resident
+    #: touch traps to the driver, round-trips over PCIe, and replays —
+    #: far costlier than either the GH200 replayable fault or an OS
+    #: anonymous fault.
+    svm_fault_cost: float = 8e-6
 
     # ------------------------------------------------------------------
     # Bandwidths (Section 2.1; measured and theoretical)
@@ -407,6 +418,10 @@ class SystemConfig:
             raise ValueError("mem_arch must be a non-empty backend name")
         if self.upm_fault_cost <= 0:
             raise ValueError("upm_fault_cost must be positive")
+        if self.svm_link_gbps <= 0:
+            raise ValueError("svm_link_gbps must be positive")
+        if self.svm_fault_cost <= 0:
+            raise ValueError("svm_fault_cost must be positive")
         if self.n_superchips < 1:
             raise ValueError("n_superchips must be at least 1")
         for name in ("nvlink_fabric_bandwidth", "cpu_socket_bandwidth"):
@@ -457,6 +472,21 @@ class SystemConfig:
         return self.managed_remote_efficiency + frac * (
             self.managed_remote_efficiency_64k - self.managed_remote_efficiency
         )
+
+    def svm_link_bandwidth(self) -> float:
+        """SVM host-device link bandwidth in bytes/second."""
+        return self.svm_link_gbps * GB
+
+    def svm_transfer_time(self, nbytes: int) -> float:
+        """Page-granularity transfer time over the SVM link.
+
+        Shared by the production backend and the differential-replay
+        reference executor so both sides evaluate the identical float
+        expression (the replay gate asserts exact equality).
+        """
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.svm_link_bandwidth() + self.c2c_latency
 
     def eviction_thrash_factor(self) -> float:
         """Traffic amplification of managed evict+migrate-back cycles at

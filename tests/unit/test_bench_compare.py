@@ -1,0 +1,160 @@
+"""Unit tests for ``repro-bench compare`` (repro.bench.crossarch)."""
+
+import json
+
+import pytest
+
+from repro.bench.crossarch import (
+    collapse_point,
+    compare_rows,
+    main_compare,
+    oversubscription_sweep,
+    parse_mem_archs,
+    render_compare_table,
+    render_sweep,
+)
+from repro.bench.runner import ResultCache
+from repro.mem.arch import architecture_names
+
+
+# -- parse_mem_archs --------------------------------------------------------
+
+
+def test_parse_mem_archs_accepts_registered_backends():
+    assert parse_mem_archs("gh200,upm,svm") == ["gh200", "upm", "svm"]
+    assert parse_mem_archs(" svm , gh200 ") == ["svm", "gh200"]
+    assert parse_mem_archs("upm,upm") == ["upm"]
+
+
+def test_parse_mem_archs_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="no-such-backend"):
+        parse_mem_archs("gh200,no-such-backend")
+    with pytest.raises(ValueError, match="empty"):
+        parse_mem_archs(" , ")
+
+
+def test_cli_rejects_unknown_backend():
+    with pytest.raises(SystemExit) as exc:
+        main_compare(["fig3", "--mem-arch", "gh200,bogus", "--no-sweep"])
+    assert exc.value.code == 2
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit) as exc:
+        main_compare(["no-such-exp", "--no-sweep"])
+    assert exc.value.code == 2
+
+
+def test_cli_rejects_bad_ratios():
+    with pytest.raises(SystemExit):
+        main_compare(["fig3", "--ratios", "1.0,banana"])
+    with pytest.raises(SystemExit):
+        main_compare(["fig3", "--ratios", "-1.0"])
+
+
+# -- collapse_point ---------------------------------------------------------
+
+
+def test_collapse_point_detects_synthetic_cliff():
+    ratios = [0.8, 1.0, 1.2, 1.5, 2.0]
+    times = [1.0, 1.1, 1.2, 5.0, 9.0]  # 1.2 -> 1.5 jumps 4.2x
+    assert collapse_point(ratios, times) == 1.5
+
+
+def test_collapse_point_none_without_cliff():
+    assert collapse_point([0.8, 1.0, 1.5], [1.0, 1.3, 1.9]) is None
+
+
+def test_collapse_point_orders_by_ratio():
+    # Unsorted input: the cliff is still between 1.2 and 1.5.
+    assert collapse_point([1.5, 0.8, 1.2], [5.0, 1.0, 1.2]) == 1.5
+
+
+def test_collapse_point_respects_factor():
+    ratios, times = [1.0, 2.0], [1.0, 2.5]
+    assert collapse_point(ratios, times, factor=2.0) == 2.0
+    assert collapse_point(ratios, times, factor=3.0) is None
+
+
+def test_collapse_point_length_mismatch():
+    with pytest.raises(ValueError, match="equal length"):
+        collapse_point([1.0], [1.0, 2.0])
+
+
+# -- tables and sweep -------------------------------------------------------
+
+SCALE = 1 / 256
+
+
+@pytest.fixture(scope="module")
+def cache(tmp_path_factory):
+    return ResultCache(str(tmp_path_factory.mktemp("cmpcache")))
+
+
+def test_compare_rows_shape(cache):
+    archs = architecture_names()
+    rows = compare_rows(["fig3"], archs, scale=SCALE, cache=cache)
+    assert len(rows) == len(archs)
+    assert [r["mem_arch"] for r in rows] == archs
+    for row in rows:
+        assert row["experiment"] == "fig3"
+        assert row["time_s"] > 0
+        for key in (
+            "migrated_bytes", "eviction_bytes", "gpu_faults",
+            "far_faults", "cpu_faults", "oversubscription",
+        ):
+            assert key in row
+    # gh200 included -> relative column anchored at exactly 1.0.
+    assert rows[0]["vs_gh200"] == 1.0
+    # SVM pays per-page faults the integrated designs never see.
+    by_arch = {r["mem_arch"]: r for r in rows}
+    assert by_arch["svm"]["gpu_faults"] > by_arch["gh200"]["gpu_faults"]
+    assert by_arch["svm"]["migrated_bytes"] > 0
+
+
+def test_compare_rows_without_gh200_has_no_baseline(cache):
+    rows = compare_rows(["fig3"], ["upm", "svm"], scale=SCALE, cache=cache)
+    assert len(rows) == 2
+    assert all(r["vs_gh200"] is None for r in rows)
+
+
+def test_render_compare_table_shape(cache):
+    rows = compare_rows(
+        ["fig3"], architecture_names(), scale=SCALE, cache=cache
+    )
+    text = render_compare_table(rows)
+    lines = text.splitlines()
+    # Header + rule + one row per (experiment, backend).
+    assert len(lines) == 2 + len(rows)
+    assert "vs gh200" in lines[0]
+    for arch in architecture_names():
+        assert any(arch in line for line in lines[2:])
+
+
+def test_oversubscription_sweep_shape_and_rendering():
+    sweep = oversubscription_sweep(
+        ["gh200", "svm"], ratios=[0.5, 1.5], scale=SCALE
+    )
+    assert set(sweep) == {"gh200", "svm"}
+    for data in sweep.values():
+        assert data["ratios"] == [0.5, 1.5]
+        assert len(data["times_s"]) == 2
+        assert all(t > 0 for t in data["times_s"])
+        assert "collapse_at" in data
+    text = render_sweep(sweep)
+    assert "gh200" in text and "svm" in text
+
+
+def test_main_compare_end_to_end_json(tmp_path, capsys):
+    out = tmp_path / "cmp.json"
+    rc = main_compare([
+        "fig3", "--mem-arch", "gh200,svm", "--scale", "1/256",
+        "--no-sweep", "--cache-dir", str(tmp_path / "cache"),
+        "--json", str(out),
+    ])
+    assert rc == 0
+    assert "fig3" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["scale"] == SCALE
+    assert len(payload["rows"]) == 2
+    assert payload["sweep"] == {}

@@ -52,10 +52,11 @@ def make_mem(arch_name, **overrides):
 # -- registry contract ------------------------------------------------------
 
 
-def test_registry_lists_both_builtin_backends():
+def test_registry_lists_all_builtin_backends():
     names = architecture_names()
     assert names[0] == "gh200"
     assert "upm" in names
+    assert "svm" in names
 
 
 def test_descriptions_are_nonempty_one_liners():
@@ -230,6 +231,79 @@ def test_prefetch_is_nonnegative_and_coherent(arch_name):
     assert seconds >= 0.0
     assert_partition(alloc)
     assert_byte_conservation(mem, [alloc])
+
+
+def _oversubscribe(mem):
+    """CPU-first-touch two allocations whose combined footprint exceeds
+    the GPU-sized tier, then ping-pong full-range GPU reads — the access
+    pattern that forces device-pool eviction on designs with one."""
+    size = int(0.75 * mem.config.gpu_memory_bytes)
+    a = mem.allocate(AllocKind.SYSTEM, size)
+    b = mem.allocate(AllocKind.SYSTEM, size)
+    shape = AccessShape(useful_bytes=mem.config.system_page_size)
+    now = 0.0
+    for alloc in (a, b):
+        mem.access(
+            Processor.CPU, alloc, PageSet.full(alloc.n_pages), shape,
+            write=True, now=now,
+        )
+    mem.begin_epoch()
+    for _ in range(3):
+        for alloc in (a, b):
+            now += 0.001
+            mem.access(
+                Processor.GPU, alloc, PageSet.full(alloc.n_pages), shape,
+                write=False, now=now,
+            )
+            mem.begin_epoch()
+            assert_partition(a)
+            assert_partition(b)
+            assert_byte_conservation(mem, [a, b])
+            assert_counter_conservation(mem)
+    return a, b
+
+
+def test_oversubscription_stress_upholds_contract(arch_name):
+    """Working set ~1.5x the device tier: invariants hold through every
+    fault/migration/eviction step on every backend, and pool occupancy
+    never exceeds capacity."""
+    mem = make_mem(arch_name)
+    a, b = _oversubscribe(mem)
+    assert mem.physical.gpu.used <= mem.physical.gpu.capacity
+    assert mem.physical.cpu.used <= mem.physical.cpu.capacity
+    total = mem.counters.total
+    if arch_name == "svm":
+        # A discrete device pool cannot hold both allocations: the
+        # ping-pong must have evicted, and every evicted byte is also a
+        # D2H migration.
+        assert total.pages_evicted > 0
+        assert total.eviction_bytes > 0
+        assert total.eviction_bytes <= total.migration_d2h_bytes
+    mem.free(a)
+    mem.free(b)
+    assert_byte_conservation(mem, [a, b])
+
+
+def test_free_after_evict_drains_all_pool_tags(arch_name):
+    """Freeing an allocation whose pages were scattered across tiers by
+    eviction returns every pool ledger to its pre-allocation state."""
+    mem = make_mem(arch_name)
+    unified = mem.physical.cpu is mem.physical.gpu
+    baseline = mem.physical.cpu.used + (
+        0 if unified else mem.physical.gpu.used
+    )
+    a, b = _oversubscribe(mem)
+    for alloc in (a, b):
+        mem.free(alloc)
+        assert alloc.freed
+        for tag in (f"sys:{alloc.aid}", f"mng:{alloc.aid}"):
+            assert mem.physical.cpu.by_tag.get(tag, 0) == 0
+            assert mem.physical.gpu.by_tag.get(tag, 0) == 0
+        assert_byte_conservation(mem, [a, b])
+    after = mem.physical.cpu.used + (
+        0 if unified else mem.physical.gpu.used
+    )
+    assert after == baseline
 
 
 # -- full-system workload under the sanitizer -------------------------------
